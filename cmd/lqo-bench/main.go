@@ -1,0 +1,88 @@
+// Command lqo-bench regenerates the workbench's experiment tables E1–E8
+// (see DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
+// results).
+//
+// Usage:
+//
+//	lqo-bench -exp all                 # every experiment, quick scale
+//	lqo-bench -exp E1,E3 -dataset job  # selected experiments
+//	lqo-bench -exp E5 -scale full      # DESIGN.md-scale run (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"lqo/internal/bench"
+)
+
+func main() {
+	var (
+		expFlag     = flag.String("exp", "all", "comma-separated experiment ids (E1..E8) or 'all'")
+		datasetFlag = flag.String("dataset", "stats", "dataset: stats | job | tpch")
+		scaleFlag   = flag.String("scale", "quick", "scale: quick | full")
+		seedFlag    = flag.Int64("seed", 42, "master random seed")
+	)
+	flag.Parse()
+
+	sc := bench.QuickScale()
+	if *scaleFlag == "full" {
+		sc = bench.FullScale()
+	}
+	want := map[string]bool{}
+	if *expFlag == "all" {
+		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8"} {
+			want[id] = true
+		}
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+
+	type runner struct {
+		id  string
+		run func(env *bench.Env) (*bench.Report, error)
+	}
+	runners := []runner{
+		{"E1", bench.E1Cardinality},
+		{"E2", func(env *bench.Env) (*bench.Report, error) {
+			return bench.E2Drift(env, []string{"histogram", "gbdt", "mscn", "naru", "spn", "factorjoin", "uae"})
+		}},
+		{"E3", bench.E3CostModel},
+		{"E4", func(env *bench.Env) (*bench.Report, error) {
+			return bench.E4JoinOrder(env, []int{3, 4, 5, 6, 8, 10}, 8)
+		}},
+		{"E5", bench.E5EndToEnd},
+		{"E6", bench.E6Eraser},
+		{"E7", bench.E7PilotScope},
+		{"E8", bench.E8Ablations},
+	}
+
+	for _, r := range runners {
+		if !want[r.id] {
+			continue
+		}
+		// Fresh environment per experiment: E2 mutates the catalog (drift)
+		// and models must never leak across experiments.
+		env, err := bench.NewEnv(*datasetFlag, sc, *seedFlag)
+		if err != nil {
+			fatal(err)
+		}
+		start := time.Now()
+		rep, err := r.run(env)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", r.id, err))
+		}
+		fmt.Println(rep.String())
+		fmt.Printf("(%s completed in %s)\n\n", r.id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lqo-bench:", err)
+	os.Exit(1)
+}

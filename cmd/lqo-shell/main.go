@@ -1,0 +1,162 @@
+// Command lqo-shell is an interactive SQL shell over a generated benchmark
+// database, with optional learned-optimizer drivers deployed through the
+// PilotScope middleware.
+//
+//	$ go run ./cmd/lqo-shell -dataset stats
+//	lqo> \tables
+//	lqo> \schema posts
+//	lqo> SELECT COUNT(*) FROM posts WHERE posts.score > 10;
+//	lqo> EXPLAIN SELECT SUM(p.views) FROM posts p, users u WHERE p.owner_user_id = u.id;
+//	lqo> \driver bao
+//	lqo> \q
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lqo/internal/cardest"
+	"lqo/internal/data"
+	"lqo/internal/datagen"
+	"lqo/internal/pilotscope"
+	"lqo/internal/sqlx"
+	"lqo/internal/workload"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "stats", "dataset: stats | job | tpch")
+		scale   = flag.Float64("scale", 0.1, "data scale factor")
+		seed    = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	var cat *data.Catalog
+	switch *dataset {
+	case "stats":
+		cat = datagen.StatsCEB(datagen.Config{Seed: *seed, Scale: *scale})
+	case "job":
+		cat = datagen.JOBLite(datagen.Config{Seed: *seed, Scale: *scale})
+	case "tpch":
+		cat = datagen.TPCHLite(datagen.Config{Seed: *seed, Scale: *scale})
+	default:
+		fmt.Fprintf(os.Stderr, "unknown dataset %q\n", *dataset)
+		os.Exit(1)
+	}
+	eng, err := pilotscope.NewEngine(cat, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	console := pilotscope.NewConsole(eng, *seed)
+	registerDrivers(console, cat, *seed)
+
+	fmt.Printf("lqo shell — dataset=%s (%d tables, %d rows). \\? for help.\n",
+		*dataset, len(cat.TableNames()), cat.TotalRows())
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("lqo> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line != "" && !dispatch(console, eng, cat, line) {
+			return
+		}
+		fmt.Print("lqo> ")
+	}
+}
+
+// registerDrivers makes the sample drivers available and registers a
+// training workload for them.
+func registerDrivers(console *pilotscope.Console, cat *data.Catalog, seed int64) {
+	qs := workload.GenWorkload(cat, workload.Options{Seed: seed, Count: 40, MaxJoins: 3, MaxPreds: 3})
+	var sqls []string
+	for _, q := range qs {
+		sqls = append(sqls, q.SQL())
+	}
+	console.SetWorkload(sqls)
+	console.RegisterDriver(pilotscope.NewBaoDriver())
+	console.RegisterDriver(pilotscope.NewLeroDriver())
+	console.RegisterDriver(pilotscope.NewCardEstDriver(cardest.NewGBDTEstimator()))
+}
+
+// dispatch handles one input line; it returns false to exit the shell.
+func dispatch(console *pilotscope.Console, eng *pilotscope.Engine, cat *data.Catalog, line string) bool {
+	switch {
+	case line == `\q` || strings.EqualFold(line, "exit") || strings.EqualFold(line, "quit"):
+		return false
+	case line == `\?` || line == "help":
+		fmt.Println(`commands:
+  <SQL>;                 execute (COUNT/SUM/AVG/MIN/MAX over SPJ queries)
+  EXPLAIN <SQL>;         show the chosen plan without executing
+  \tables                list tables
+  \schema <table>        show a table's columns and indexes
+  \driver <name>|off     deploy a learned driver (trains on first use)
+  \drivers               list registered drivers
+  \q                     quit`)
+	case line == `\tables`:
+		for _, tn := range cat.TableNames() {
+			fmt.Printf("  %-16s %8d rows\n", tn, cat.Table(tn).NumRows())
+		}
+	case strings.HasPrefix(line, `\schema `):
+		name := strings.TrimSpace(strings.TrimPrefix(line, `\schema `))
+		t := cat.Table(name)
+		if t == nil {
+			fmt.Printf("no table %q\n", name)
+			break
+		}
+		for _, c := range t.Cols {
+			idx := ""
+			if t.Index(c.Name) != nil {
+				idx = "  [indexed]"
+			}
+			fmt.Printf("  %-20s %s%s\n", c.Name, c.Kind, idx)
+		}
+	case line == `\drivers`:
+		for _, d := range console.Drivers() {
+			marker := " "
+			if console.ActiveDriver() == d {
+				marker = "*"
+			}
+			fmt.Printf("  %s %s\n", marker, d)
+		}
+	case strings.HasPrefix(line, `\driver`):
+		name := strings.TrimSpace(strings.TrimPrefix(line, `\driver`))
+		if name == "off" || name == "" {
+			if err := console.StopTask(); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Println("driver off — native optimizer")
+			}
+			break
+		}
+		fmt.Printf("training %s on the registered workload...\n", name)
+		if err := console.StartTask(name); err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Printf("driver %s active\n", name)
+		}
+	case strings.HasPrefix(strings.ToUpper(line), "EXPLAIN "):
+		sql := line[len("EXPLAIN "):]
+		q, err := sqlx.Parse(sql, cat)
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		p, err := eng.Pull(&pilotscope.Session{Query: q}, pilotscope.PullPlan, q)
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		fmt.Print(p)
+	default:
+		res, err := console.ExecuteSQL(line)
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		fmt.Printf("%v\n(%d rows aggregated, %.0f work units)\n", res.Value, res.Count, res.Latency)
+	}
+	return true
+}

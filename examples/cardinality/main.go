@@ -1,0 +1,60 @@
+// Cardinality: train one estimator from every Table 1 class on the same
+// labeled workload and compare held-out q-errors — a miniature of
+// experiment E1 showing the query-driven / data-driven / hybrid trade-off.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lqo/internal/cardest"
+	"lqo/internal/datagen"
+	"lqo/internal/exec"
+	"lqo/internal/metrics"
+	"lqo/internal/stats"
+	"lqo/internal/workload"
+)
+
+func main() {
+	cat := datagen.StatsCEB(datagen.Config{Seed: 11, Scale: 0.1})
+	cs := stats.CollectCatalog(cat, stats.Options{Seed: 11})
+	cache := exec.NewCardCache(exec.New(cat))
+
+	labeled, err := workload.GenLabeled(cat, cache, workload.Options{
+		Seed: 11, Count: 150, MaxJoins: 3, MaxPreds: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, test := labeled[:100], labeled[100:]
+	samples := make([]cardest.Sample, len(train))
+	for i, l := range train {
+		samples[i] = cardest.Sample{Q: l.Q, Card: l.Card}
+	}
+	ctx := &cardest.Context{Cat: cat, Stats: cs, Train: samples, Seed: 11}
+
+	fmt.Printf("%-12s %-12s %8s %8s %8s\n", "class", "estimator", "p50", "p95", "max")
+	for _, name := range []string{"histogram", "mscn", "gbdt", "spn", "factorjoin", "uae"} {
+		est, err := cardest.ByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := est.Train(ctx); err != nil {
+			log.Fatal(err)
+		}
+		var qerrs []float64
+		for _, l := range test {
+			qerrs = append(qerrs, metrics.QError(est.Estimate(l.Q), l.Card))
+		}
+		s := metrics.Summarize(qerrs)
+		class := "?"
+		for _, inf := range cardest.Registry() {
+			if inf.Name == name {
+				class = string(inf.Class)
+			}
+		}
+		fmt.Printf("%-12s %-12s %8.2f %8.1f %8.0f\n", class, name, s.P50, s.P95, s.Max)
+	}
+	fmt.Println("\nq-error = max(est/true, true/est) on 50 held-out queries.")
+	fmt.Println("run `lqo-bench -exp E1` for the full 18-estimator matrix.")
+}

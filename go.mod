@@ -1,0 +1,3 @@
+module lqo
+
+go 1.22

@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReportRendering(t *testing.T) {
+	r := &Report{
+		ID:     "EX",
+		Title:  "demo",
+		Header: []string{"name", "value"},
+	}
+	r.AddRow("alpha", "1.0")
+	r.AddRow("verylongname", "2.0")
+	r.Notes = append(r.Notes, "a note")
+	out := r.String()
+	for _, frag := range []string{"== EX: demo ==", "alpha", "verylongname", "note: a note", "----"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("rendering missing %q:\n%s", frag, out)
+		}
+	}
+	// Columns align: every data line at least as wide as the widest cell.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("too few lines:\n%s", out)
+	}
+}
+
+func TestF(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{3.14159, "3.14"},
+		{42.4242, "42.4"},
+		{12345, "12345"},
+		{2.5e8, "2.50e+08"},
+	}
+	for _, c := range cases {
+		if got := F(c.in); got != c.want {
+			t.Errorf("F(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNewEnvUnknownDataset(t *testing.T) {
+	if _, err := NewEnv("nope", QuickScale(), 1); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+// tinyScale keeps the environment-construction integration test fast.
+func tinyScale() Scale { return Scale{Data: 0.03, Train: 12, Test: 6, Episodes: 20} }
+
+func TestNewEnvBuildsConsistentSplits(t *testing.T) {
+	env, err := NewEnv("stats", tinyScale(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(env.Train) != 12 || len(env.Test) != 6 {
+		t.Fatalf("splits = %d/%d", len(env.Train), len(env.Test))
+	}
+	ctx := env.CardestContext()
+	if len(ctx.Train) != 12 {
+		t.Fatalf("cardest ctx train = %d", len(ctx.Train))
+	}
+	for _, l := range env.Train {
+		if err := l.Q.Validate(env.Cat); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Determinism: same seed, same labels.
+	env2, err := NewEnv("stats", tinyScale(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range env.Train {
+		if env.Train[i].Card != env2.Train[i].Card || env.Train[i].Q.Key() != env2.Train[i].Q.Key() {
+			t.Fatal("environment not deterministic")
+		}
+	}
+}
+
+func TestCollectPlansExecutes(t *testing.T) {
+	env, err := NewEnv("stats", tinyScale(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans, err := CollectPlans(env, env.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) < len(env.Test) {
+		t.Fatalf("collected %d plans for %d queries", len(plans), len(env.Test))
+	}
+	for _, tp := range plans {
+		if tp.Latency <= 0 {
+			t.Fatal("plan with zero latency")
+		}
+	}
+}
+
+func TestE1OnTinyEnv(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	env, err := NewEnv("tpch", tinyScale(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := E1Cardinality(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) < 15 {
+		t.Fatalf("E1 rows = %d", len(rep.Rows))
+	}
+	if !strings.Contains(rep.String(), "histogram") {
+		t.Fatal("E1 missing histogram row")
+	}
+}
+
+func TestE4OnTinyEnv(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	env, err := NewEnv("stats", tinyScale(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := E4JoinOrder(env, []int{3, 4}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DP row must be all 1.00.
+	for _, row := range rep.Rows {
+		if row[0] == "dp" {
+			for _, cell := range row[1:] {
+				if cell != "1.00" {
+					t.Fatalf("dp not optimal: %v", row)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package cardest
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"lqo/internal/query"
+)
+
+// AutoCE [74] is a model advisor: given a dataset, it recommends which
+// cardinality-estimation method to deploy. The paper trains a deep
+// metric-learning recommender over dataset features; the workbench makes
+// the same decision by direct hold-out validation — train every candidate
+// on a training split, score on a validation split, and recommend the
+// best — which yields the identical decision output the recommender
+// approximates, with dataset features exposed for inspection.
+type AutoCE struct {
+	// Candidates are the estimator names considered (default: one per
+	// Table 1 class).
+	Candidates []string
+	// Holdout is the fraction of the workload reserved for validation
+	// (default 0.3).
+	Holdout float64
+
+	chosen Estimator
+	scores []AdvisorScore
+}
+
+// AdvisorScore records one candidate's validation result.
+type AdvisorScore struct {
+	Name string
+	GeoQ float64
+}
+
+// NewAutoCE returns an advisor over a representative candidate set.
+func NewAutoCE() *AutoCE {
+	return &AutoCE{
+		Candidates: []string{"histogram", "gbdt", "mscn", "spn", "factorjoin", "uae"},
+		Holdout:    0.3,
+	}
+}
+
+// Name implements Estimator; after Train it reflects the recommendation.
+func (a *AutoCE) Name() string {
+	if a.chosen != nil {
+		return "autoce→" + a.chosen.Name()
+	}
+	return "autoce"
+}
+
+// Train validates every candidate and adopts the winner (retrained on the
+// full workload).
+func (a *AutoCE) Train(ctx *Context) error {
+	if len(ctx.Train) < 10 {
+		return fmt.Errorf("cardest: autoce needs at least 10 training queries")
+	}
+	split := int(float64(len(ctx.Train)) * (1 - a.Holdout))
+	trainCtx := *ctx
+	trainCtx.Train = ctx.Train[:split]
+	valid := ctx.Train[split:]
+
+	a.scores = a.scores[:0]
+	bestGeo := math.Inf(1)
+	bestName := ""
+	for _, name := range a.Candidates {
+		est, err := ByName(name)
+		if err != nil {
+			return err
+		}
+		if err := est.Train(&trainCtx); err != nil {
+			continue // a failing candidate is simply not recommended
+		}
+		logs := 0.0
+		for _, s := range valid {
+			logs += math.Log(qerrOf(est.Estimate(s.Q), s.Card))
+		}
+		geo := math.Exp(logs / float64(len(valid)))
+		a.scores = append(a.scores, AdvisorScore{Name: name, GeoQ: geo})
+		if geo < bestGeo {
+			bestGeo, bestName = geo, name
+		}
+	}
+	if bestName == "" {
+		return fmt.Errorf("cardest: autoce found no trainable candidate")
+	}
+	sort.Slice(a.scores, func(i, j int) bool { return a.scores[i].GeoQ < a.scores[j].GeoQ })
+	chosen, err := ByName(bestName)
+	if err != nil {
+		return err
+	}
+	if err := chosen.Train(ctx); err != nil {
+		return err
+	}
+	a.chosen = chosen
+	return nil
+}
+
+// Estimate implements Estimator by delegating to the recommendation.
+func (a *AutoCE) Estimate(q *query.Query) float64 {
+	if a.chosen == nil {
+		return 0
+	}
+	return a.chosen.Estimate(q)
+}
+
+// Scores returns every candidate's validation score, best first.
+func (a *AutoCE) Scores() []AdvisorScore {
+	out := make([]AdvisorScore, len(a.scores))
+	copy(out, a.scores)
+	return out
+}
+
+// Recommended returns the chosen estimator's name ("" before Train).
+func (a *AutoCE) Recommended() string {
+	if a.chosen == nil {
+		return ""
+	}
+	return a.chosen.Name()
+}

@@ -1,0 +1,276 @@
+package cardest
+
+import (
+	"math"
+
+	"lqo/internal/data"
+	"lqo/internal/query"
+	"lqo/internal/stats"
+)
+
+// BayesNet is the probabilistic-graphical-model line [57, 65]: per table, a
+// Chow-Liu tree over binned columns (maximum-spanning-tree on pairwise
+// mutual information) with smoothed conditional probability tables, and
+// exact message-passing inference for conjunctive range queries. Joins
+// compose via the System-R formula, as in the original per-table PGMs.
+type BayesNet struct {
+	Bins      int // per-column bins (default 16)
+	TrainRows int // row sample per table (default 4000)
+
+	cat    *data.Catalog
+	cs     *stats.CatalogStats
+	tables map[string]*bnTable
+}
+
+type bnTable struct {
+	cols   []string
+	bounds [][]float64
+	parent []int       // parent column index, -1 for root
+	order  []int       // topological order (root first)
+	cpt    [][]float64 // cpt[ci]: root → marginal (len bins); else P(child|parent) row-major [parentBin*bins+childBin]
+	bins   int
+}
+
+// NewBayesNet returns an untrained Chow-Liu estimator.
+func NewBayesNet() *BayesNet { return &BayesNet{Bins: 16, TrainRows: 4000} }
+
+// Name implements Estimator.
+func (e *BayesNet) Name() string { return "bayesnet" }
+
+// Train learns one tree-structured network per table.
+func (e *BayesNet) Train(ctx *Context) error {
+	e.cat = ctx.Cat
+	e.cs = ctx.Stats
+	e.tables = make(map[string]*bnTable)
+	for _, tn := range ctx.Cat.TableNames() {
+		t := ctx.Cat.Table(tn)
+		if t.NumRows() == 0 || len(t.Cols) == 0 {
+			continue
+		}
+		e.tables[tn] = e.trainTable(t)
+	}
+	return nil
+}
+
+func (e *BayesNet) trainTable(t *data.Table) *bnTable {
+	nc := len(t.Cols)
+	bt := &bnTable{bins: e.Bins, parent: make([]int, nc)}
+	for _, c := range t.Cols {
+		bt.cols = append(bt.cols, c.Name)
+		bt.bounds = append(bt.bounds, quantileBounds(c, e.Bins))
+	}
+	// Bin a row sample.
+	n := t.NumRows()
+	step := 1
+	if n > e.TrainRows {
+		step = n / e.TrainRows
+	}
+	var binned [][]int
+	for r := 0; r < n; r += step {
+		row := make([]int, nc)
+		for ci, c := range t.Cols {
+			row[ci] = binOf(bt.bounds[ci], c.Float(r))
+		}
+		binned = append(binned, row)
+	}
+	m := float64(len(binned))
+
+	// Pairwise mutual information.
+	marg := make([][]float64, nc)
+	for ci := range marg {
+		marg[ci] = make([]float64, e.Bins)
+	}
+	for _, row := range binned {
+		for ci, b := range row {
+			marg[ci][b]++
+		}
+	}
+	mi := func(a, b int) float64 {
+		joint := make([]float64, e.Bins*e.Bins)
+		for _, row := range binned {
+			joint[row[a]*e.Bins+row[b]]++
+		}
+		v := 0.0
+		for i := 0; i < e.Bins; i++ {
+			for j := 0; j < e.Bins; j++ {
+				pij := joint[i*e.Bins+j] / m
+				if pij == 0 {
+					continue
+				}
+				pi, pj := marg[a][i]/m, marg[b][j]/m
+				v += pij * math.Log(pij/(pi*pj))
+			}
+		}
+		return v
+	}
+
+	// Prim's maximum spanning tree rooted at column 0.
+	inTree := make([]bool, nc)
+	bestMI := make([]float64, nc)
+	bestPar := make([]int, nc)
+	for i := range bestMI {
+		bestMI[i] = -1
+		bestPar[i] = -1
+	}
+	inTree[0] = true
+	bt.parent[0] = -1
+	bt.order = []int{0}
+	for i := 1; i < nc; i++ {
+		bestMI[i] = mi(0, i)
+		bestPar[i] = 0
+	}
+	for len(bt.order) < nc {
+		pick, best := -1, -1.0
+		for i := 0; i < nc; i++ {
+			if !inTree[i] && bestMI[i] > best {
+				best, pick = bestMI[i], i
+			}
+		}
+		inTree[pick] = true
+		bt.parent[pick] = bestPar[pick]
+		bt.order = append(bt.order, pick)
+		for i := 0; i < nc; i++ {
+			if !inTree[i] {
+				if v := mi(pick, i); v > bestMI[i] {
+					bestMI[i], bestPar[i] = v, pick
+				}
+			}
+		}
+	}
+
+	// CPTs with Laplace smoothing.
+	bt.cpt = make([][]float64, nc)
+	for _, ci := range bt.order {
+		p := bt.parent[ci]
+		if p < 0 {
+			tbl := make([]float64, e.Bins)
+			for b := 0; b < e.Bins; b++ {
+				tbl[b] = (marg[ci][b] + 1) / (m + float64(e.Bins))
+			}
+			bt.cpt[ci] = tbl
+			continue
+		}
+		tbl := make([]float64, e.Bins*e.Bins)
+		for _, row := range binned {
+			tbl[row[p]*e.Bins+row[ci]]++
+		}
+		for pb := 0; pb < e.Bins; pb++ {
+			sum := 0.0
+			for cb := 0; cb < e.Bins; cb++ {
+				sum += tbl[pb*e.Bins+cb]
+			}
+			for cb := 0; cb < e.Bins; cb++ {
+				tbl[pb*e.Bins+cb] = (tbl[pb*e.Bins+cb] + 1) / (sum + float64(e.Bins))
+			}
+		}
+		bt.cpt[ci] = tbl
+	}
+	return bt
+}
+
+// allowedMask computes per-column bin masks from predicates (nil = free).
+func (bt *bnTable) allowedMask(ts *stats.TableStats, preds []query.Pred) [][]bool {
+	allowed := make([][]bool, len(bt.cols))
+	for _, p := range preds {
+		ci := -1
+		for i, c := range bt.cols {
+			if c == p.Column {
+				ci = i
+				break
+			}
+		}
+		if ci < 0 {
+			continue
+		}
+		csCol := ts.Cols[p.Column]
+		mask := allowed[ci]
+		if mask == nil {
+			mask = make([]bool, bt.bins)
+			for b := range mask {
+				mask[b] = true
+			}
+		}
+		lo, hi := p.Bounds(csCol.Min, csCol.Max)
+		for b := 0; b < bt.bins; b++ {
+			blo := csCol.Min
+			if b > 0 {
+				blo = bt.bounds[ci][b-1]
+			}
+			bhi := bt.bounds[ci][b]
+			if bhi < lo || blo > hi {
+				mask[b] = false
+			}
+		}
+		allowed[ci] = mask
+	}
+	return allowed
+}
+
+// inferSel computes P(all constrained columns within their masks) by
+// bottom-up message passing over the tree.
+func (bt *bnTable) inferSel(allowed [][]bool) float64 {
+	nc := len(bt.cols)
+	children := make([][]int, nc)
+	for ci, p := range bt.parent {
+		if p >= 0 {
+			children[p] = append(children[p], ci)
+		}
+	}
+	// msg(ci)[pb] = P(subtree of ci consistent with masks | parent bin pb).
+	cache := make([][]float64, nc)
+	var msg func(ci int) []float64
+	msg = func(ci int) []float64 {
+		if cache[ci] != nil {
+			return cache[ci]
+		}
+		out := make([]float64, bt.bins)
+		for pb := 0; pb < bt.bins; pb++ {
+			s := 0.0
+			for cb := 0; cb < bt.bins; cb++ {
+				if allowed[ci] != nil && !allowed[ci][cb] {
+					continue
+				}
+				prod := bt.cpt[ci][pb*bt.bins+cb]
+				for _, ch := range children[ci] {
+					prod *= msg(ch)[cb]
+				}
+				s += prod
+			}
+			out[pb] = s
+		}
+		cache[ci] = out
+		return out
+	}
+
+	root := bt.order[0]
+	total := 0.0
+	for rb := 0; rb < bt.bins; rb++ {
+		if allowed[root] != nil && !allowed[root][rb] {
+			continue
+		}
+		prod := bt.cpt[root][rb]
+		for _, ch := range children[root] {
+			prod *= msg(ch)[rb]
+		}
+		total += prod
+	}
+	return total
+}
+
+// Estimate implements Estimator.
+func (e *BayesNet) Estimate(q *query.Query) float64 {
+	est := joinFormula(e.cs, q, func(alias string) float64 {
+		tn := q.TableOf(alias)
+		preds := q.PredsOn(alias)
+		if len(preds) == 0 {
+			return 1
+		}
+		bt := e.tables[tn]
+		ts := e.cs.Tables[tn]
+		if bt == nil || ts == nil {
+			return tableSelFromPreds(ts, preds)
+		}
+		return bt.inferSel(bt.allowedMask(ts, preds))
+	})
+	return clampCard(est, e.cat, q)
+}

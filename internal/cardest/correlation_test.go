@@ -1,0 +1,113 @@
+package cardest
+
+import (
+	"testing"
+
+	"lqo/internal/data"
+	"lqo/internal/metrics"
+	"lqo/internal/query"
+	"lqo/internal/stats"
+)
+
+// corrWorld builds a single-table catalog whose two attribute columns are
+// PERFECTLY correlated (y = x): the adversarial case for the independence
+// assumption. P(x ≤ k ∧ y ≤ k) = k/n, but independence predicts (k/n)².
+func corrWorld(t *testing.T) (*Context, []Sample) {
+	t.Helper()
+	cat := data.NewCatalog()
+	x := &data.Column{Name: "x", Kind: data.Int}
+	y := &data.Column{Name: "y", Kind: data.Int}
+	id := &data.Column{Name: "id", Kind: data.Int}
+	const n = 2000
+	for i := 0; i < n; i++ {
+		id.AppendInt(int64(i))
+		x.AppendInt(int64(i % 100))
+		y.AppendInt(int64(i % 100)) // y == x always
+	}
+	tbl := data.NewTable("t", id, x, y)
+	if _, err := tbl.BuildIndex("id"); err != nil {
+		t.Fatal(err)
+	}
+	cat.Add(tbl)
+	cs := stats.CollectCatalog(cat, stats.Options{Seed: 3})
+
+	// Labeled conjunctive range queries (exact truth is computable).
+	var train []Sample
+	mkQuery := func(k int64) *query.Query {
+		return &query.Query{
+			Refs: []query.TableRef{{Alias: "t", Table: "t"}},
+			Preds: []query.Pred{
+				{Alias: "t", Column: "x", Op: query.Le, Val: data.IntVal(k)},
+				{Alias: "t", Column: "y", Op: query.Le, Val: data.IntVal(k)},
+			},
+		}
+	}
+	for k := int64(4); k < 100; k += 7 {
+		truth := float64((k + 1) * (n / 100)) // x ≤ k rows, all satisfy y ≤ k
+		train = append(train, Sample{Q: mkQuery(k), Card: truth})
+	}
+	return &Context{Cat: cat, Stats: cs, Train: train, Seed: 3}, train
+}
+
+// TestDataDrivenModelsCaptureCorrelation is the defining capability test
+// of the data-driven class: on y = x data, SPN, BayesNet and Naru must
+// beat the independence-assumption histogram by a wide margin.
+func TestDataDrivenModelsCaptureCorrelation(t *testing.T) {
+	ctx, queries := corrWorld(t)
+
+	geo := func(name string) float64 {
+		est, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := est.Train(ctx); err != nil {
+			t.Fatal(err)
+		}
+		var qerrs []float64
+		for _, s := range queries {
+			qerrs = append(qerrs, metrics.QError(est.Estimate(s.Q), s.Card))
+		}
+		return metrics.GeoMean(qerrs)
+	}
+
+	hist := geo("histogram")
+	if hist < 2 {
+		t.Fatalf("histogram geo q-error %v — the correlation should hurt it badly", hist)
+	}
+	for _, name := range []string{"spn", "bayesnet", "naru", "iris"} {
+		g := geo(name)
+		if g > hist/2 {
+			t.Errorf("%s geo q-error %v vs histogram %v — correlation not captured", name, g, hist)
+		}
+	}
+}
+
+// TestQueryDrivenModelsLearnCorrelationFromLabels: the query-driven class
+// reaches the same answer through supervision rather than data access.
+func TestQueryDrivenModelsLearnCorrelationFromLabels(t *testing.T) {
+	ctx, queries := corrWorld(t)
+	for _, name := range []string{"gbdt", "mlp"} {
+		est, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := est.Train(ctx); err != nil {
+			t.Fatal(err)
+		}
+		var model, histErrs []float64
+		hist := NewHistogramEstimator()
+		if err := hist.Train(ctx); err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range queries {
+			model = append(model, metrics.QError(est.Estimate(s.Q), s.Card))
+			histErrs = append(histErrs, metrics.QError(hist.Estimate(s.Q), s.Card))
+		}
+		// The supervised model must clearly improve on independence; the
+		// margin is looser than the data-driven test's because only 14
+		// labeled queries are available.
+		if metrics.GeoMean(model) > metrics.GeoMean(histErrs)*0.8 {
+			t.Errorf("%s geo %v vs histogram %v on training distribution", name, metrics.GeoMean(model), metrics.GeoMean(histErrs))
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package cardest
+
+import (
+	"fmt"
+	"math"
+
+	"lqo/internal/data"
+	"lqo/internal/ml"
+	"lqo/internal/query"
+)
+
+// Fauce [33] estimates cardinality with an ensemble of deep models and
+// reports the *uncertainty* of each estimate alongside it — the Bayesian
+// deep-learning idea NNGP [75] pursues analytically. The workbench trains
+// K MLPs from different initializations on bootstrap resamples; the
+// ensemble mean (log space) is the estimate and the ensemble standard
+// deviation is the uncertainty, which downstream consumers (HyperQO-style
+// filters, prediction intervals [55]) can act on.
+type Fauce struct {
+	K      int // ensemble size (default 5)
+	Hidden []int
+	Epochs int
+	LR     float64
+
+	f    *Featurizer
+	nets []*ml.Net
+	cat  *data.Catalog
+}
+
+// NewFauce returns an untrained uncertainty-aware ensemble estimator.
+func NewFauce() *Fauce {
+	return &Fauce{K: 5, Hidden: []int{48, 24}, Epochs: 40, LR: 1e-3}
+}
+
+// Name implements Estimator.
+func (e *Fauce) Name() string { return "fauce" }
+
+// Train fits each member on a bootstrap resample with its own seed.
+func (e *Fauce) Train(ctx *Context) error {
+	if len(ctx.Train) == 0 {
+		return fmt.Errorf("cardest: fauce needs a training workload")
+	}
+	e.cat = ctx.Cat
+	e.f = NewFeaturizer(ctx.Cat, ctx.Stats, ctx.Train)
+	e.nets = e.nets[:0]
+	for k := 0; k < e.K; k++ {
+		rng := newRNG(ctx.Seed + 700 + int64(k)*97)
+		sizes := append([]int{e.f.Dim()}, append(e.Hidden, 1)...)
+		net := ml.NewNet(sizes, ml.ReLU, rng)
+		xs := make([][]float64, len(ctx.Train))
+		ys := make([]float64, len(ctx.Train))
+		for i := range xs {
+			s := ctx.Train[rng.Intn(len(ctx.Train))]
+			xs[i] = e.f.Vector(s.Q)
+			ys[i] = logCard(s.Card)
+		}
+		ml.TrainRegression(net, xs, ys, e.Epochs, 16, e.LR, rng)
+		e.nets = append(e.nets, net)
+	}
+	return nil
+}
+
+// predictLog returns the ensemble's log-space mean and stddev.
+func (e *Fauce) predictLog(q *query.Query) (mu, sigma float64) {
+	x := e.f.Vector(q)
+	var s, ss float64
+	for _, net := range e.nets {
+		v := net.Forward(x)[0]
+		s += v
+		ss += v * v
+	}
+	n := float64(len(e.nets))
+	mu = s / n
+	varr := ss/n - mu*mu
+	if varr < 0 {
+		varr = 0
+	}
+	return mu, math.Sqrt(varr)
+}
+
+// Estimate implements Estimator.
+func (e *Fauce) Estimate(q *query.Query) float64 {
+	if len(e.nets) == 0 {
+		return 0
+	}
+	mu, _ := e.predictLog(q)
+	return clampCard(unlogCard(mu), e.cat, q)
+}
+
+// Uncertainty returns the ensemble's log-space standard deviation for q —
+// larger means the members disagree and the estimate should be trusted
+// less.
+func (e *Fauce) Uncertainty(q *query.Query) float64 {
+	if len(e.nets) == 0 {
+		return math.Inf(1)
+	}
+	_, sigma := e.predictLog(q)
+	return sigma
+}
+
+// Interval returns an approximate prediction interval [lo, hi] at ±z
+// ensemble standard deviations in log space — the prediction-interval
+// evaluation of [55].
+func (e *Fauce) Interval(q *query.Query, z float64) (lo, hi float64) {
+	if len(e.nets) == 0 {
+		return 0, math.Inf(1)
+	}
+	mu, sigma := e.predictLog(q)
+	return clampCard(unlogCard(mu-z*sigma), e.cat, q), clampCard(unlogCard(mu+z*sigma), e.cat, q)
+}

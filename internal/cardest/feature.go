@@ -1,0 +1,219 @@
+package cardest
+
+import (
+	"sort"
+
+	"lqo/internal/data"
+	"lqo/internal/query"
+	"lqo/internal/stats"
+)
+
+// Featurizer maps logical queries into the fixed-width vector space shared
+// by all query-driven models: table one-hots, per-column predicate ranges
+// normalized to [0,1], and join-edge one-hots.
+//
+// The join-edge universe is the union of edges seen in the training
+// workload and edges implied by the schema's "*_id" naming, so unseen test
+// joins on known edges featurize correctly.
+type Featurizer struct {
+	Tables  []string
+	tblIdx  map[string]int
+	Columns []ColKey
+	colIdx  map[ColKey]int
+	JoinIDs []string
+	joinIdx map[string]int
+	colMin  map[ColKey]float64
+	colMax  map[ColKey]float64
+}
+
+// ColKey identifies a base-table column.
+type ColKey struct {
+	Table  string
+	Column string
+}
+
+// featPerCol is the slot width per column: [present, isNe, lo, hi].
+const featPerCol = 4
+
+// NewFeaturizer derives the feature space from the catalog, statistics and
+// (optionally) a training workload contributing join edges.
+func NewFeaturizer(cat *data.Catalog, cs *stats.CatalogStats, train []Sample) *Featurizer {
+	f := &Featurizer{
+		tblIdx:  make(map[string]int),
+		colIdx:  make(map[ColKey]int),
+		joinIdx: make(map[string]int),
+		colMin:  make(map[ColKey]float64),
+		colMax:  make(map[ColKey]float64),
+	}
+	for _, tn := range cat.TableNames() {
+		f.tblIdx[tn] = len(f.Tables)
+		f.Tables = append(f.Tables, tn)
+		t := cat.Table(tn)
+		for _, c := range t.Cols {
+			k := ColKey{tn, c.Name}
+			f.colIdx[k] = len(f.Columns)
+			f.Columns = append(f.Columns, k)
+			if ts := cs.Tables[tn]; ts != nil && ts.Cols[c.Name] != nil {
+				f.colMin[k] = ts.Cols[c.Name].Min
+				f.colMax[k] = ts.Cols[c.Name].Max
+			}
+		}
+	}
+	joinSet := map[string]bool{}
+	for _, s := range train {
+		for _, j := range s.Q.Joins {
+			joinSet[f.joinKeyFor(s.Q, j)] = true
+		}
+	}
+	// Schema-implied edges: t2.x_id = t1.id when table t1 exists.
+	for _, e := range query.DeriveSchemaEdges(cat) {
+		joinSet[e.Key()] = true
+	}
+	keys := make([]string, 0, len(joinSet))
+	for k := range joinSet {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		f.joinIdx[k] = len(f.JoinIDs)
+		f.JoinIDs = append(f.JoinIDs, k)
+	}
+	return f
+}
+
+func canonJoinKey(t1, c1, t2, c2 string) string {
+	a, b := t1+"."+c1, t2+"."+c2
+	if a > b {
+		a, b = b, a
+	}
+	return a + "=" + b
+}
+
+func (f *Featurizer) joinKeyFor(q *query.Query, j query.Join) string {
+	return canonJoinKey(q.TableOf(j.LeftAlias), j.LeftCol, q.TableOf(j.RightAlias), j.RightCol)
+}
+
+// Dim returns the feature vector width.
+func (f *Featurizer) Dim() int {
+	return len(f.Tables) + len(f.Columns)*featPerCol + len(f.JoinIDs)
+}
+
+// Normalize maps v into [0,1] over the column's observed domain.
+func (f *Featurizer) Normalize(k ColKey, v float64) float64 {
+	lo, hi := f.colMin[k], f.colMax[k]
+	if hi <= lo {
+		return 0.5
+	}
+	n := (v - lo) / (hi - lo)
+	if n < 0 {
+		n = 0
+	}
+	if n > 1 {
+		n = 1
+	}
+	return n
+}
+
+// Vector featurizes q. Aliases are mapped to their base tables; multiple
+// predicates on the same column intersect their ranges.
+func (f *Featurizer) Vector(q *query.Query) []float64 {
+	v := make([]float64, f.Dim())
+	colBase := len(f.Tables)
+	joinBase := colBase + len(f.Columns)*featPerCol
+
+	// Initialize every column slot to "no predicate": [0, 0, 0, 1].
+	for i := range f.Columns {
+		v[colBase+i*featPerCol+2] = 0
+		v[colBase+i*featPerCol+3] = 1
+	}
+	for _, r := range q.Refs {
+		if i, ok := f.tblIdx[r.Table]; ok {
+			v[i] = 1
+		}
+	}
+	for _, p := range q.Preds {
+		k := ColKey{q.TableOf(p.Alias), p.Column}
+		ci, ok := f.colIdx[k]
+		if !ok {
+			continue
+		}
+		base := colBase + ci*featPerCol
+		lo, hi := p.Bounds(f.colMin[k], f.colMax[k])
+		nlo, nhi := f.Normalize(k, lo), f.Normalize(k, hi)
+		if v[base] == 0 {
+			v[base] = 1
+			if p.Op == query.Ne {
+				v[base+1] = 1
+			}
+			v[base+2], v[base+3] = nlo, nhi
+		} else {
+			// Conjunction on the same column: intersect ranges.
+			if nlo > v[base+2] {
+				v[base+2] = nlo
+			}
+			if nhi < v[base+3] {
+				v[base+3] = nhi
+			}
+		}
+	}
+	for _, j := range q.Joins {
+		if i, ok := f.joinIdx[f.joinKeyFor(q, j)]; ok {
+			v[joinBase+i] = 1
+		}
+	}
+	return v
+}
+
+// SetElements featurizes q as the three element sets consumed by the
+// MSCN-style set-convolution models: table elements, join elements and
+// predicate elements.
+func (f *Featurizer) SetElements(q *query.Query) (tables, joins, preds [][]float64) {
+	for _, r := range q.Refs {
+		e := make([]float64, len(f.Tables))
+		if i, ok := f.tblIdx[r.Table]; ok {
+			e[i] = 1
+		}
+		tables = append(tables, e)
+	}
+	for _, j := range q.Joins {
+		e := make([]float64, f.JoinElemDim())
+		if i, ok := f.joinIdx[f.joinKeyFor(q, j)]; ok {
+			e[i] = 1
+		}
+		joins = append(joins, e)
+	}
+	for _, p := range q.Preds {
+		k := ColKey{q.TableOf(p.Alias), p.Column}
+		e := make([]float64, len(f.Columns)+3+2) // col one-hot, 3 op flags, lo, hi
+		if ci, ok := f.colIdx[k]; ok {
+			e[ci] = 1
+		}
+		switch p.Op {
+		case query.Eq:
+			e[len(f.Columns)] = 1
+		case query.Ne:
+			e[len(f.Columns)+1] = 1
+		default:
+			e[len(f.Columns)+2] = 1
+		}
+		lo, hi := p.Bounds(f.colMin[k], f.colMax[k])
+		e[len(f.Columns)+3] = f.Normalize(k, lo)
+		e[len(f.Columns)+4] = f.Normalize(k, hi)
+		preds = append(preds, e)
+	}
+	return tables, joins, preds
+}
+
+// TableElemDim returns the width of table set elements.
+func (f *Featurizer) TableElemDim() int { return len(f.Tables) }
+
+// JoinElemDim returns the width of join set elements.
+func (f *Featurizer) JoinElemDim() int {
+	if len(f.JoinIDs) == 0 {
+		return 1
+	}
+	return len(f.JoinIDs)
+}
+
+// PredElemDim returns the width of predicate set elements.
+func (f *Featurizer) PredElemDim() int { return len(f.Columns) + 5 }

@@ -1,0 +1,142 @@
+package cardest
+
+import (
+	"math"
+
+	"lqo/internal/query"
+)
+
+// LPCE [59] pairs an initial estimator with a refinement step driven by
+// query re-optimization: as operators of a running plan complete, their
+// *actual* cardinalities become known, and the estimates of the remaining
+// (super-)queries are corrected by the observed error of their executed
+// sub-queries.
+//
+// The workbench realizes the refinement model as ratio propagation: if an
+// executed sub-query's true cardinality differs from its estimate by
+// factor r, every pending estimate containing that sub-query is scaled by
+// r^Damping. The initial model is pluggable (GBDT by default).
+type LPCE struct {
+	// Initial is the before-execution model (default: GBDT).
+	Initial Estimator
+	// Damping in (0, 1] tempers the propagated correction (default 0.8).
+	Damping float64
+
+	observed map[string]float64 // sub-query key → true/est ratio
+}
+
+// NewLPCE returns an LPCE wrapper around the default initial model.
+func NewLPCE() *LPCE {
+	return &LPCE{Initial: NewGBDTEstimator(), Damping: 0.8}
+}
+
+// Name implements Estimator.
+func (e *LPCE) Name() string { return "lpce" }
+
+// Train trains the initial model and clears feedback.
+func (e *LPCE) Train(ctx *Context) error {
+	e.observed = make(map[string]float64)
+	return e.Initial.Train(ctx)
+}
+
+// Observe records the true cardinality of an executed sub-query; later
+// estimates of queries containing it are refined.
+func (e *LPCE) Observe(sub *query.Query, trueCard float64) {
+	est := e.Initial.Estimate(sub)
+	if est <= 0 {
+		est = 1
+	}
+	if trueCard <= 0 {
+		trueCard = 0.5 // avoid zero ratios; "almost empty" is still a signal
+	}
+	e.observed[sub.Key()] = trueCard / est
+}
+
+// Reset clears execution feedback (call between queries).
+func (e *LPCE) Reset() {
+	e.observed = make(map[string]float64)
+}
+
+// Estimate refines the initial estimate with the strongest applicable
+// observed correction: the ratio of the largest observed sub-query whose
+// aliases are all contained in q.
+func (e *LPCE) Estimate(q *query.Query) float64 {
+	base := e.Initial.Estimate(q)
+	if len(e.observed) == 0 {
+		return base
+	}
+	// Exact match: the true cardinality is known.
+	if r, ok := e.observed[q.Key()]; ok {
+		return base * r
+	}
+	qAliases := map[string]bool{}
+	for _, a := range q.Aliases() {
+		qAliases[a] = true
+	}
+	bestSize := 0
+	bestRatio := 1.0
+	for key, r := range e.observed {
+		sz := subKeySize(key)
+		if sz <= bestSize || sz >= len(qAliases) {
+			continue
+		}
+		if keyContained(key, qAliases) {
+			bestSize = sz
+			bestRatio = r
+		}
+	}
+	if bestSize == 0 {
+		return base
+	}
+	return base * powDamped(bestRatio, e.Damping)
+}
+
+func powDamped(r, d float64) float64 {
+	if r <= 0 {
+		return 1
+	}
+	return math.Pow(r, d)
+}
+
+// subKeySize counts the aliases in a query Key (refs section).
+func subKeySize(key string) int {
+	n, i := 1, 0
+	for ; i < len(key) && key[i] != '|'; i++ {
+		if key[i] == ',' {
+			n++
+		}
+	}
+	if i == 0 {
+		return 0
+	}
+	return n
+}
+
+// keyContained reports whether every alias of the keyed sub-query appears
+// in the alias set.
+func keyContained(key string, aliases map[string]bool) bool {
+	refs := key
+	for i := 0; i < len(key); i++ {
+		if key[i] == '|' {
+			refs = key[:i]
+			break
+		}
+	}
+	start := 0
+	for i := 0; i <= len(refs); i++ {
+		if i == len(refs) || refs[i] == ',' {
+			entry := refs[start:i]
+			// entry is "alias:table".
+			for k := 0; k < len(entry); k++ {
+				if entry[k] == ':' {
+					if !aliases[entry[:k]] {
+						return false
+					}
+					break
+				}
+			}
+			start = i + 1
+		}
+	}
+	return true
+}

@@ -1,0 +1,188 @@
+package cardest
+
+import (
+	"fmt"
+	"math"
+
+	"lqo/internal/data"
+	"lqo/internal/query"
+)
+
+// Warper [29] keeps a query-driven estimator accurate under data and
+// workload drift: it monitors the estimator's error on recently executed
+// queries, detects drift when the recent error departs from the training
+// error (the detect-then-update discipline DDUp [25] formalizes), and on
+// detection *generates additional queries* around the drifted ones, labels
+// them through the execution oracle, and retrains on the combined sample.
+type Warper struct {
+	// Inner is the protected query-driven estimator (default GBDT).
+	Inner Estimator
+	// Window is how many recent observations drift detection considers
+	// (default 32).
+	Window int
+	// DriftFactor triggers retraining when the recent geometric-mean
+	// q-error exceeds the training-time error by this factor (default 2).
+	DriftFactor float64
+	// Generate is how many synthetic neighbor queries are created per
+	// observed query on retraining (default 2).
+	Generate int
+	// Label executes a query and returns its true cardinality; the
+	// deployment environment must provide it (PilotScope's PullTrueCard,
+	// or exec.CardCache in-process).
+	Label func(q *query.Query) (float64, error)
+
+	ctx       *Context
+	trainErr  float64
+	recent    []Sample
+	recentErr []float64
+	retrains  int
+}
+
+// NewWarper wraps inner (nil = GBDT) with drift adaptation.
+func NewWarper(inner Estimator, label func(q *query.Query) (float64, error)) *Warper {
+	if inner == nil {
+		inner = NewGBDTEstimator()
+	}
+	return &Warper{Inner: inner, Window: 32, DriftFactor: 2, Generate: 2, Label: label}
+}
+
+// Name implements Estimator.
+func (w *Warper) Name() string { return "warper+" + w.Inner.Name() }
+
+// Train trains the inner estimator and records its training-time error as
+// the drift baseline.
+func (w *Warper) Train(ctx *Context) error {
+	w.ctx = ctx
+	w.recent = nil
+	w.recentErr = nil
+	if err := w.Inner.Train(ctx); err != nil {
+		return err
+	}
+	logs := 0.0
+	for _, s := range ctx.Train {
+		logs += math.Log(qerrOf(w.Inner.Estimate(s.Q), s.Card))
+	}
+	if len(ctx.Train) > 0 {
+		w.trainErr = math.Exp(logs / float64(len(ctx.Train)))
+	} else {
+		w.trainErr = 1
+	}
+	return nil
+}
+
+func qerrOf(est, truth float64) float64 {
+	if est < 1 {
+		est = 1
+	}
+	if truth < 1 {
+		truth = 1
+	}
+	if est > truth {
+		return est / truth
+	}
+	return truth / est
+}
+
+// Estimate implements Estimator.
+func (w *Warper) Estimate(q *query.Query) float64 { return w.Inner.Estimate(q) }
+
+// Observe feeds back the true cardinality of an executed query. When the
+// recent-window error drifts beyond DriftFactor × the training baseline,
+// the estimator is retrained with generated neighbor queries. Returns
+// whether a retrain happened.
+func (w *Warper) Observe(q *query.Query, trueCard float64) (bool, error) {
+	w.recent = append(w.recent, Sample{Q: q, Card: trueCard})
+	w.recentErr = append(w.recentErr, math.Log(qerrOf(w.Inner.Estimate(q), trueCard)))
+	if len(w.recent) > w.Window {
+		w.recent = w.recent[1:]
+		w.recentErr = w.recentErr[1:]
+	}
+	if len(w.recent) < w.Window {
+		return false, nil
+	}
+	s := 0.0
+	for _, e := range w.recentErr {
+		s += e
+	}
+	recentGeo := math.Exp(s / float64(len(w.recentErr)))
+	if recentGeo <= w.trainErr*w.DriftFactor {
+		return false, nil
+	}
+	if err := w.retrain(); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Retrains reports how many drift-triggered retrains have happened.
+func (w *Warper) Retrains() int { return w.retrains }
+
+// retrain augments the training set with the recent observations plus
+// generated neighbors of them, relabels everything, and refits.
+func (w *Warper) retrain() error {
+	if w.Label == nil {
+		return fmt.Errorf("cardest: warper needs a Label oracle to retrain")
+	}
+	rng := newRNG(w.ctx.Seed + int64(w.retrains)*31 + 808)
+	augmented := append([]Sample{}, w.ctx.Train...)
+	for _, s := range w.recent {
+		augmented = append(augmented, s)
+		// Neighbor generation: jitter predicate literals by small
+		// multiplicative offsets — Warper's "carefully picked" generated
+		// queries concentrate where the drift was observed.
+		for g := 0; g < w.Generate; g++ {
+			nq := s.Q.Clone()
+			changed := false
+			for i := range nq.Preds {
+				p := &nq.Preds[i]
+				if p.Op == query.Eq || p.Op == query.Ne {
+					continue
+				}
+				scale := 1 + (rng.Float64()-0.5)*0.3
+				p.Val = jitterValue(p.Val, scale)
+				if p.Op == query.Between {
+					p.Val2 = jitterValue(p.Val2, scale)
+					if p.Val.Compare(p.Val2) > 0 {
+						p.Val, p.Val2 = p.Val2, p.Val
+					}
+				}
+				changed = true
+			}
+			if !changed {
+				continue
+			}
+			card, err := w.Label(nq)
+			if err != nil {
+				continue
+			}
+			augmented = append(augmented, Sample{Q: nq, Card: card})
+		}
+	}
+	newCtx := *w.ctx
+	newCtx.Train = augmented
+	newCtx.Seed = w.ctx.Seed + int64(w.retrains+1)*1009
+	if err := w.Inner.Train(&newCtx); err != nil {
+		return err
+	}
+	w.retrains++
+	// The drift baseline moves with the refreshed model.
+	logs := 0.0
+	for _, s := range w.recent {
+		logs += math.Log(qerrOf(w.Inner.Estimate(s.Q), s.Card))
+	}
+	w.trainErr = math.Exp(logs / float64(len(w.recent)))
+	if w.trainErr < 1 {
+		w.trainErr = 1
+	}
+	w.recent = nil
+	w.recentErr = nil
+	return nil
+}
+
+// jitterValue scales a literal, preserving its kind.
+func jitterValue(v data.Value, scale float64) data.Value {
+	if v.K == data.Float {
+		return data.FloatVal(v.F * scale)
+	}
+	return data.IntVal(int64(math.Round(float64(v.I) * scale)))
+}

@@ -1,0 +1,105 @@
+package costmodel
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"lqo/internal/ml"
+	"lqo/internal/plan"
+)
+
+// newRNG returns a deterministic RNG for the given seed.
+func newRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// ConcurrentModel is the concurrent-query performance predictor line
+// (GPredictor [78], Prestroid [20], resource-aware models [31]): given a
+// query's own plan and the set of plans running concurrently, predict its
+// slowdown-adjusted latency.
+//
+// The workbench has no true concurrency in its deterministic executor, so
+// interference is *simulated* by a capacity model — each concurrent work
+// unit beyond the machine capacity stretches everyone proportionally —
+// and the learned model must recover that relationship from featurized
+// (own plan, concurrent load) pairs. This keeps the learning problem real
+// (the model never sees the simulator's formula) while staying
+// reproducible.
+type ConcurrentModel struct {
+	Epochs int
+	LR     float64
+
+	f   *PlanFeaturizer
+	net *ml.Net
+}
+
+// NewConcurrentModel returns an untrained concurrent-latency model.
+func NewConcurrentModel() *ConcurrentModel { return &ConcurrentModel{Epochs: 80, LR: 1e-3} }
+
+// Name identifies the model.
+func (m *ConcurrentModel) Name() string { return "concurrent" }
+
+// SimCapacity is the simulated machine capacity in work units: concurrent
+// demand beyond it stretches latency linearly.
+const SimCapacity = 50000.0
+
+// SimulateConcurrentLatency is the ground-truth interference model used
+// to label training data: latency = own · (1 + totalConcurrent/capacity).
+func SimulateConcurrentLatency(own, totalConcurrent float64) float64 {
+	return own * (1 + totalConcurrent/SimCapacity)
+}
+
+// ConcurrentSample is one training example.
+type ConcurrentSample struct {
+	Plan       *plan.Node
+	OwnLatency float64 // isolated latency (work units)
+	Concurrent []float64
+	Observed   float64 // latency under interference
+}
+
+// TrainConcurrent fits the model on interference samples.
+func (m *ConcurrentModel) TrainConcurrent(ctx *Context, samples []ConcurrentSample) error {
+	if len(samples) == 0 {
+		return fmt.Errorf("costmodel: concurrent model needs samples")
+	}
+	m.f = NewPlanFeaturizer(ctx.Cat, false)
+	rng := newRNG(ctx.Seed + 17)
+	dim := m.f.Dim() + 3
+	m.net = ml.NewNet([]int{dim, 32, 1}, ml.ReLU, rng)
+	xs := make([][]float64, len(samples))
+	ys := make([]float64, len(samples))
+	for i, s := range samples {
+		xs[i] = m.vector(s.Plan, s.Concurrent)
+		ys[i] = math.Log1p(s.Observed)
+	}
+	ml.TrainRegression(m.net, xs, ys, m.Epochs, 16, m.LR, rng)
+	return nil
+}
+
+func (m *ConcurrentModel) vector(p *plan.Node, concurrent []float64) []float64 {
+	base := m.f.Vector(p)
+	total, max := 0.0, 0.0
+	for _, c := range concurrent {
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	return append(base,
+		math.Log1p(total)/20,
+		math.Log1p(max)/20,
+		float64(len(concurrent))/20,
+	)
+}
+
+// PredictConcurrent returns the predicted latency of p when the given
+// concurrent loads (work units) run alongside it.
+func (m *ConcurrentModel) PredictConcurrent(p *plan.Node, concurrent []float64) float64 {
+	if m.net == nil {
+		return 0
+	}
+	v := math.Expm1(m.net.Forward(m.vector(p, concurrent))[0])
+	if v < 0 || math.IsNaN(v) {
+		return 0
+	}
+	return v
+}

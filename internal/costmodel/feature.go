@@ -1,0 +1,127 @@
+package costmodel
+
+import (
+	"math"
+
+	"lqo/internal/data"
+	"lqo/internal/plan"
+)
+
+// PlanFeaturizer maps whole physical plans to fixed-width vectors for the
+// flat (non-recursive) learned cost models.
+//
+// Two modes:
+//   - schema-aware: adds per-table scan presence — more accurate on the
+//     training database;
+//   - zero-shot [16]: only transferable features (operator counts,
+//     cardinality aggregates, tree shape), enabling prediction on unseen
+//     databases without retraining.
+type PlanFeaturizer struct {
+	ZeroShot bool
+	Tables   []string
+	tblIdx   map[string]int
+}
+
+// NewPlanFeaturizer builds a featurizer over cat's tables. For zero-shot
+// mode, cat may be nil.
+func NewPlanFeaturizer(cat *data.Catalog, zeroShot bool) *PlanFeaturizer {
+	f := &PlanFeaturizer{ZeroShot: zeroShot, tblIdx: map[string]int{}}
+	if cat != nil && !zeroShot {
+		for _, tn := range cat.TableNames() {
+			f.tblIdx[tn] = len(f.Tables)
+			f.Tables = append(f.Tables, tn)
+		}
+	}
+	return f
+}
+
+// transferableDim is the width of the database-independent feature block.
+const transferableDim = 5*3 + 7
+
+// Dim returns the feature-vector width.
+func (f *PlanFeaturizer) Dim() int {
+	if f.ZeroShot {
+		return transferableDim
+	}
+	return transferableDim + len(f.Tables)
+}
+
+// Vector featurizes p. Per operator class: [count, Σ log(estCard),
+// max log(estCard)]; plus tree shape and totals; plus (schema-aware only)
+// per-table scan flags.
+func (f *PlanFeaturizer) Vector(p *plan.Node) []float64 {
+	v := make([]float64, f.Dim())
+	ops := []plan.Op{plan.SeqScan, plan.IndexScan, plan.NestedLoopJoin, plan.HashJoin, plan.MergeJoin}
+	opIdx := map[plan.Op]int{}
+	for i, op := range ops {
+		opIdx[op] = i
+	}
+	depth := 0
+	var rec func(n *plan.Node, d int)
+	totalLog := 0.0
+	npreds := 0
+	rec = func(n *plan.Node, d int) {
+		if n == nil {
+			return
+		}
+		if d > depth {
+			depth = d
+		}
+		i := opIdx[n.Op]
+		lc := math.Log1p(n.EstCard)
+		v[i*3] += 1
+		v[i*3+1] += lc / 20
+		if lc/20 > v[i*3+2] {
+			v[i*3+2] = lc / 20
+		}
+		totalLog += lc
+		npreds += len(n.Preds)
+		if n.IsLeaf() && !f.ZeroShot {
+			if ti, ok := f.tblIdx[n.Table]; ok {
+				v[transferableDim+ti] = 1
+			}
+		}
+		rec(n.Left, d+1)
+		rec(n.Right, d+1)
+	}
+	rec(p, 1)
+	base := 15
+	v[base] = float64(depth) / 10
+	v[base+1] = float64(p.NumJoins()) / 10
+	v[base+2] = totalLog / 100
+	v[base+3] = float64(npreds) / 10
+	v[base+4] = math.Log1p(p.EstCard) / 20
+	v[base+5] = float64(len(p.Aliases())) / 10
+	// The native cost model's own estimate (annotated by the optimizer) is
+	// the strongest transferable prior; learned models correct it.
+	v[base+6] = math.Log1p(p.EstCost) / 25
+	return v
+}
+
+// NodeFeatureDim is the per-node feature width for the recursive models.
+const NodeFeatureDim = 5 + 3
+
+// NodeFeatures featurizes a single plan node for the tree-structured
+// models: operator one-hot, log estimated cardinality, predicate count,
+// leaf flag.
+func NodeFeatures(n *plan.Node) []float64 {
+	v := make([]float64, NodeFeatureDim)
+	switch n.Op {
+	case plan.SeqScan:
+		v[0] = 1
+	case plan.IndexScan:
+		v[1] = 1
+	case plan.NestedLoopJoin:
+		v[2] = 1
+	case plan.HashJoin:
+		v[3] = 1
+	case plan.MergeJoin:
+		v[4] = 1
+	}
+	v[5] = math.Log1p(n.EstCard) / 20
+	v[6] = float64(len(n.Preds)) / 5
+	if n.IsLeaf() {
+		v[7] = 1
+	}
+	return v
+}

@@ -1,0 +1,267 @@
+package data
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Column is a typed, fully materialized column. Int and dictionary-encoded
+// String columns store values in Ints; Float columns in Floats.
+type Column struct {
+	Name string
+	Kind Kind
+	Ints []int64
+	Flts []float64
+	Dict *Dict // non-nil iff Kind == String
+}
+
+// Len returns the number of values stored.
+func (c *Column) Len() int {
+	if c.Kind == Float {
+		return len(c.Flts)
+	}
+	return len(c.Ints)
+}
+
+// Value returns the value at row i.
+func (c *Column) Value(i int) Value {
+	if c.Kind == Float {
+		return Value{K: Float, F: c.Flts[i]}
+	}
+	return Value{K: c.Kind, I: c.Ints[i]}
+}
+
+// Float returns the value at row i in the numeric domain.
+func (c *Column) Float(i int) float64 {
+	if c.Kind == Float {
+		return c.Flts[i]
+	}
+	return float64(c.Ints[i])
+}
+
+// AppendInt appends v; the column must not be a Float column.
+func (c *Column) AppendInt(v int64) { c.Ints = append(c.Ints, v) }
+
+// AppendFloat appends v; the column must be a Float column.
+func (c *Column) AppendFloat(v float64) { c.Flts = append(c.Flts, v) }
+
+// AppendString interns s and appends its code; the column must be a String
+// column.
+func (c *Column) AppendString(s string) {
+	if c.Dict == nil {
+		c.Dict = NewDict()
+	}
+	c.Ints = append(c.Ints, c.Dict.Code(s))
+}
+
+// MinMax returns the smallest and largest value in the numeric domain.
+// ok is false for an empty column.
+func (c *Column) MinMax() (lo, hi float64, ok bool) {
+	n := c.Len()
+	if n == 0 {
+		return 0, 0, false
+	}
+	lo, hi = c.Float(0), c.Float(0)
+	for i := 1; i < n; i++ {
+		v := c.Float(i)
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi, true
+}
+
+// DistinctCount returns the exact number of distinct values.
+func (c *Column) DistinctCount() int {
+	if c.Kind == Float {
+		seen := make(map[float64]struct{}, len(c.Flts))
+		for _, v := range c.Flts {
+			seen[v] = struct{}{}
+		}
+		return len(seen)
+	}
+	seen := make(map[int64]struct{}, len(c.Ints))
+	for _, v := range c.Ints {
+		seen[v] = struct{}{}
+	}
+	return len(seen)
+}
+
+// Table is a named collection of equal-length columns.
+type Table struct {
+	Name   string
+	Cols   []*Column
+	byName map[string]int
+	idx    map[string]*Index
+}
+
+// NewTable creates an empty table with the given column definitions.
+func NewTable(name string, cols ...*Column) *Table {
+	t := &Table{Name: name, Cols: cols, byName: make(map[string]int), idx: make(map[string]*Index)}
+	for i, c := range cols {
+		t.byName[c.Name] = i
+	}
+	return t
+}
+
+// AddColumn appends a column definition. It panics if a column with the
+// same name exists, since schemas are fixed at load time.
+func (t *Table) AddColumn(c *Column) {
+	if _, dup := t.byName[c.Name]; dup {
+		panic(fmt.Sprintf("data: duplicate column %s.%s", t.Name, c.Name))
+	}
+	t.byName[c.Name] = len(t.Cols)
+	t.Cols = append(t.Cols, c)
+}
+
+// Column returns the named column, or nil if absent.
+func (t *Table) Column(name string) *Column {
+	i, ok := t.byName[name]
+	if !ok {
+		return nil
+	}
+	return t.Cols[i]
+}
+
+// ColumnNames returns the column names in declaration order.
+func (t *Table) ColumnNames() []string {
+	names := make([]string, len(t.Cols))
+	for i, c := range t.Cols {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// NumRows returns the row count (0 for a table with no columns).
+func (t *Table) NumRows() int {
+	if len(t.Cols) == 0 {
+		return 0
+	}
+	return t.Cols[0].Len()
+}
+
+// Validate checks that all columns have equal length.
+func (t *Table) Validate() error {
+	n := t.NumRows()
+	for _, c := range t.Cols {
+		if c.Len() != n {
+			return fmt.Errorf("data: table %s column %s has %d rows, want %d", t.Name, c.Name, c.Len(), n)
+		}
+	}
+	return nil
+}
+
+// Index is a value → sorted row-id mapping over a single column, used by
+// index scans and hash-join builds on base tables.
+type Index struct {
+	Col  string
+	rows map[int64][]int32
+}
+
+// BuildIndex constructs (or rebuilds) an equality index over the named
+// column and registers it on the table. Float columns cannot be indexed.
+func (t *Table) BuildIndex(col string) (*Index, error) {
+	c := t.Column(col)
+	if c == nil {
+		return nil, fmt.Errorf("data: no column %s.%s", t.Name, col)
+	}
+	if c.Kind == Float {
+		return nil, fmt.Errorf("data: cannot index float column %s.%s", t.Name, col)
+	}
+	ix := &Index{Col: col, rows: make(map[int64][]int32)}
+	for i, v := range c.Ints {
+		ix.rows[v] = append(ix.rows[v], int32(i))
+	}
+	t.idx[col] = ix
+	return ix, nil
+}
+
+// Index returns the index on col, or nil.
+func (t *Table) Index(col string) *Index {
+	return t.idx[col]
+}
+
+// Rows returns the row ids holding value v (sorted ascending).
+func (ix *Index) Rows(v int64) []int32 { return ix.rows[v] }
+
+// NumKeys returns the number of distinct indexed keys.
+func (ix *Index) NumKeys() int { return len(ix.rows) }
+
+// FK is a declared foreign-key relationship between two table columns.
+type FK struct {
+	Table, Column       string
+	RefTable, RefColumn string
+}
+
+// Catalog is a named set of tables; the unit a query executes against.
+type Catalog struct {
+	tables map[string]*Table
+	order  []string
+	fks    []FK
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{tables: make(map[string]*Table)}
+}
+
+// DeclareFK records a foreign-key relationship. Schema-aware components
+// (join-edge derivation, workload generation) consult declared FKs before
+// falling back to naming heuristics.
+func (cat *Catalog) DeclareFK(table, column, refTable, refColumn string) {
+	cat.fks = append(cat.fks, FK{table, column, refTable, refColumn})
+}
+
+// FKs returns the declared foreign keys in declaration order.
+func (cat *Catalog) FKs() []FK {
+	out := make([]FK, len(cat.fks))
+	copy(out, cat.fks)
+	return out
+}
+
+// Add registers a table, replacing any previous table of the same name.
+func (cat *Catalog) Add(t *Table) {
+	if _, ok := cat.tables[t.Name]; !ok {
+		cat.order = append(cat.order, t.Name)
+	}
+	cat.tables[t.Name] = t
+}
+
+// Table returns the named table, or nil.
+func (cat *Catalog) Table(name string) *Table { return cat.tables[name] }
+
+// TableNames returns registered table names in insertion order.
+func (cat *Catalog) TableNames() []string {
+	out := make([]string, len(cat.order))
+	copy(out, cat.order)
+	return out
+}
+
+// TotalRows returns the sum of row counts over all tables.
+func (cat *Catalog) TotalRows() int {
+	n := 0
+	for _, name := range cat.order {
+		n += cat.tables[name].NumRows()
+	}
+	return n
+}
+
+// SortedDistinct returns the sorted distinct values of an Int/String column
+// in the numeric domain. It is used by histogram builders and the
+// auto-regressive estimators' domain binning.
+func SortedDistinct(c *Column) []float64 {
+	seen := make(map[float64]struct{})
+	n := c.Len()
+	for i := 0; i < n; i++ {
+		seen[c.Float(i)] = struct{}{}
+	}
+	out := make([]float64, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Float64s(out)
+	return out
+}

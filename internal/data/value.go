@@ -1,0 +1,123 @@
+// Package data provides the in-memory relational storage substrate: typed
+// values, dictionary-encoded columns, tables, indexes and a catalog.
+//
+// The substrate stands in for the PostgreSQL host engine of the surveyed
+// systems: it is small, deterministic, and exposes exactly what learned
+// query optimization needs — typed column access, true cardinalities by
+// execution, and cheap statistics collection.
+package data
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind enumerates the column types supported by the engine.
+type Kind int
+
+// Supported column kinds. String columns are dictionary-encoded to int64
+// codes at load time; estimators therefore see a uniform numeric domain.
+const (
+	Int Kind = iota
+	Float
+	String
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case Int:
+		return "INT"
+	case Float:
+		return "FLOAT"
+	case String:
+		return "TEXT"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Value is a dynamically typed scalar. Exactly one of I or F is meaningful
+// depending on K; String values are represented by their dictionary code in
+// I together with the originating column's dictionary.
+type Value struct {
+	K Kind
+	I int64
+	F float64
+}
+
+// IntVal returns an Int Value.
+func IntVal(v int64) Value { return Value{K: Int, I: v} }
+
+// FloatVal returns a Float Value.
+func FloatVal(v float64) Value { return Value{K: Float, F: v} }
+
+// AsFloat converts the value to float64, the common numeric domain used by
+// featurizers and histograms.
+func (v Value) AsFloat() float64 {
+	if v.K == Float {
+		return v.F
+	}
+	return float64(v.I)
+}
+
+// Compare returns -1, 0 or +1 comparing v to w in the numeric domain.
+func (v Value) Compare(w Value) int {
+	a, b := v.AsFloat(), w.AsFloat()
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// String renders the value for debugging and plan display.
+func (v Value) String() string {
+	if v.K == Float {
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	}
+	return strconv.FormatInt(v.I, 10)
+}
+
+// Dict is an order-preserving string dictionary. Codes are assigned in
+// insertion order; Lookup is O(1).
+type Dict struct {
+	codes map[string]int64
+	strs  []string
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{codes: make(map[string]int64)}
+}
+
+// Code interns s and returns its code.
+func (d *Dict) Code(s string) int64 {
+	if c, ok := d.codes[s]; ok {
+		return c
+	}
+	c := int64(len(d.strs))
+	d.codes[s] = c
+	d.strs = append(d.strs, s)
+	return c
+}
+
+// Lookup returns the code for s and whether it is present.
+func (d *Dict) Lookup(s string) (int64, bool) {
+	c, ok := d.codes[s]
+	return c, ok
+}
+
+// Str returns the string for code c, or "" if out of range.
+func (d *Dict) Str(c int64) string {
+	if c < 0 || c >= int64(len(d.strs)) {
+		return ""
+	}
+	return d.strs[c]
+}
+
+// Len reports the number of distinct strings interned.
+func (d *Dict) Len() int { return len(d.strs) }

@@ -1,0 +1,330 @@
+// Package datagen builds the synthetic benchmark databases the workbench
+// evaluates on. The generators substitute for the datasets used throughout
+// the surveyed literature — IMDB/JOB, STATS-CEB and TPC-H — reproducing the
+// characteristics that separate learned from traditional estimators:
+// heavy-tailed (Zipf) value distributions, cross-column correlation within
+// tables, and skewed foreign-key fan-out across tables.
+package datagen
+
+import (
+	"math/rand"
+
+	"lqo/internal/data"
+)
+
+// Config controls generator scale and randomness.
+type Config struct {
+	Seed  int64
+	Scale float64 // 1.0 = default row counts; 0 treated as 1.0
+}
+
+func (c Config) scale(n int) int {
+	s := c.Scale
+	if s <= 0 {
+		s = 1
+	}
+	out := int(float64(n) * s)
+	if out < 10 {
+		out = 10
+	}
+	return out
+}
+
+// zipfInt draws Zipf-distributed values in [0, max) with skew s (>1 is
+// heavier tail).
+func zipfInt(rng *rand.Rand, s float64, max int) func() int64 {
+	if max < 2 {
+		return func() int64 { return 0 }
+	}
+	z := rand.NewZipf(rng, s, 1, uint64(max-1))
+	return func() int64 { return int64(z.Uint64()) }
+}
+
+func intCol(name string) *data.Column   { return &data.Column{Name: name, Kind: data.Int} }
+func floatCol(name string) *data.Column { return &data.Column{Name: name, Kind: data.Float} }
+
+// StatsCEB generates a 6-table database mirroring the STATS benchmark's
+// Stack-Exchange schema [12]: users, posts, comments, votes, badges and
+// postHistory linked by skewed foreign keys, with correlated attribute
+// pairs inside posts and users.
+//
+// Correlations (deliberate, to defeat independence assumptions):
+//   - posts.score ~ posts.views (monotone + noise)
+//   - posts.answers ~ posts.score sign
+//   - users.reputation Zipf; users.up_votes ~ reputation
+//   - comments.score higher on posts with high score (via FK)
+func StatsCEB(cfg Config) *data.Catalog {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	cat := data.NewCatalog()
+
+	nUsers := cfg.scale(2000)
+	nPosts := cfg.scale(5000)
+	nComments := cfg.scale(8000)
+	nVotes := cfg.scale(10000)
+	nBadges := cfg.scale(3000)
+	nHistory := cfg.scale(6000)
+
+	// users(id, reputation, up_votes, down_votes, age)
+	users := data.NewTable("users", intCol("id"), intCol("reputation"), intCol("up_votes"), intCol("down_votes"), intCol("age"))
+	repZ := zipfInt(rng, 1.4, 10000)
+	for i := 0; i < nUsers; i++ {
+		rep := repZ()
+		users.Column("id").AppendInt(int64(i))
+		users.Column("reputation").AppendInt(rep)
+		users.Column("up_votes").AppendInt(rep/2 + int64(rng.Intn(20)))
+		users.Column("down_votes").AppendInt(int64(rng.Intn(int(rep/4 + 2))))
+		users.Column("age").AppendInt(int64(13 + rng.Intn(60)))
+	}
+	cat.Add(users)
+
+	// posts(id, owner_user_id, score, views, answers, post_type)
+	posts := data.NewTable("posts", intCol("id"), intCol("owner_user_id"), intCol("score"), intCol("views"), intCol("answers"), intCol("post_type"))
+	ownerZ := zipfInt(rng, 1.3, nUsers) // few users own many posts
+	viewsZ := zipfInt(rng, 1.5, 50000)
+	postScore := make([]int64, nPosts)
+	for i := 0; i < nPosts; i++ {
+		views := viewsZ()
+		score := views/100 + int64(rng.Intn(11)) - 5 // correlated with views
+		if score < -5 {
+			score = -5
+		}
+		postScore[i] = score
+		answers := int64(0)
+		if score > 0 {
+			answers = int64(rng.Intn(int(score/2 + 2)))
+		}
+		posts.Column("id").AppendInt(int64(i))
+		posts.Column("owner_user_id").AppendInt(ownerZ())
+		posts.Column("score").AppendInt(score)
+		posts.Column("views").AppendInt(views)
+		posts.Column("answers").AppendInt(answers)
+		posts.Column("post_type").AppendInt(int64(rng.Intn(3)))
+	}
+	cat.Add(posts)
+
+	// comments(id, post_id, user_id, score)
+	comments := data.NewTable("comments", intCol("id"), intCol("post_id"), intCol("user_id"), intCol("score"))
+	postZ := zipfInt(rng, 1.25, nPosts) // popular posts attract comments
+	userZ := zipfInt(rng, 1.35, nUsers)
+	for i := 0; i < nComments; i++ {
+		pid := postZ()
+		base := postScore[pid]
+		cscore := int64(rng.Intn(3))
+		if base > 10 {
+			cscore += int64(rng.Intn(8))
+		}
+		comments.Column("id").AppendInt(int64(i))
+		comments.Column("post_id").AppendInt(pid)
+		comments.Column("user_id").AppendInt(userZ())
+		comments.Column("score").AppendInt(cscore)
+	}
+	cat.Add(comments)
+
+	// votes(id, post_id, user_id, vote_type)
+	votes := data.NewTable("votes", intCol("id"), intCol("post_id"), intCol("user_id"), intCol("vote_type"))
+	vpostZ := zipfInt(rng, 1.4, nPosts)
+	vuserZ := zipfInt(rng, 1.2, nUsers)
+	for i := 0; i < nVotes; i++ {
+		votes.Column("id").AppendInt(int64(i))
+		votes.Column("post_id").AppendInt(vpostZ())
+		votes.Column("user_id").AppendInt(vuserZ())
+		votes.Column("vote_type").AppendInt(int64(rng.Intn(5)))
+	}
+	cat.Add(votes)
+
+	// badges(id, user_id, class)
+	badges := data.NewTable("badges", intCol("id"), intCol("user_id"), intCol("class"))
+	buserZ := zipfInt(rng, 1.5, nUsers)
+	for i := 0; i < nBadges; i++ {
+		badges.Column("id").AppendInt(int64(i))
+		badges.Column("user_id").AppendInt(buserZ())
+		badges.Column("class").AppendInt(int64(1 + rng.Intn(3)))
+	}
+	cat.Add(badges)
+
+	// postHistory(id, post_id, user_id, kind)
+	history := data.NewTable("postHistory", intCol("id"), intCol("post_id"), intCol("user_id"), intCol("kind"))
+	hpostZ := zipfInt(rng, 1.3, nPosts)
+	huserZ := zipfInt(rng, 1.3, nUsers)
+	for i := 0; i < nHistory; i++ {
+		history.Column("id").AppendInt(int64(i))
+		history.Column("post_id").AppendInt(hpostZ())
+		history.Column("user_id").AppendInt(huserZ())
+		history.Column("kind").AppendInt(int64(rng.Intn(6)))
+	}
+	cat.Add(history)
+
+	cat.DeclareFK("posts", "owner_user_id", "users", "id")
+	cat.DeclareFK("comments", "post_id", "posts", "id")
+	cat.DeclareFK("comments", "user_id", "users", "id")
+	cat.DeclareFK("votes", "post_id", "posts", "id")
+	cat.DeclareFK("votes", "user_id", "users", "id")
+	cat.DeclareFK("badges", "user_id", "users", "id")
+	cat.DeclareFK("postHistory", "post_id", "posts", "id")
+	cat.DeclareFK("postHistory", "user_id", "users", "id")
+	buildPKFKIndexes(cat)
+	return cat
+}
+
+// JOBLite generates a star-ish IMDB-like schema: a central title table with
+// five satellite tables joining on movie_id, mirroring JOB-light [27].
+func JOBLite(cfg Config) *data.Catalog {
+	rng := rand.New(rand.NewSource(cfg.Seed + 77))
+	cat := data.NewCatalog()
+
+	nTitles := cfg.scale(4000)
+	nMC := cfg.scale(6000)
+	nMI := cfg.scale(9000)
+	nMK := cfg.scale(7000)
+	nCI := cfg.scale(12000)
+	nMIIdx := cfg.scale(4000)
+
+	// title(id, kind_id, production_year, season_count)
+	title := data.NewTable("title", intCol("id"), intCol("kind_id"), intCol("production_year"), intCol("season_count"))
+	for i := 0; i < nTitles; i++ {
+		year := int64(1950 + rng.Intn(73))
+		kind := int64(rng.Intn(7))
+		seasons := int64(0)
+		if kind == 1 { // tv series have seasons
+			seasons = int64(1 + rng.Intn(20))
+		}
+		title.Column("id").AppendInt(int64(i))
+		title.Column("kind_id").AppendInt(kind)
+		title.Column("production_year").AppendInt(year)
+		title.Column("season_count").AppendInt(seasons)
+	}
+	cat.Add(title)
+
+	addSat := func(name string, n int, skew float64, extra func(t *data.Table, i int)) {
+		cols := []*data.Column{intCol("id"), intCol("movie_id")}
+		t := data.NewTable(name, cols...)
+		switch name {
+		case "movie_companies":
+			t.AddColumn(intCol("company_type_id"))
+		case "movie_info":
+			t.AddColumn(intCol("info_type_id"))
+		case "movie_keyword":
+			t.AddColumn(intCol("keyword_id"))
+		case "cast_info":
+			t.AddColumn(intCol("role_id"))
+			t.AddColumn(intCol("nr_order"))
+		case "movie_info_idx":
+			t.AddColumn(intCol("info_type_id"))
+		}
+		mz := zipfInt(rng, skew, nTitles)
+		for i := 0; i < n; i++ {
+			t.Column("id").AppendInt(int64(i))
+			t.Column("movie_id").AppendInt(mz())
+			extra(t, i)
+		}
+		cat.Add(t)
+	}
+	addSat("movie_companies", nMC, 1.2, func(t *data.Table, i int) {
+		t.Column("company_type_id").AppendInt(int64(rng.Intn(4)))
+	})
+	infoZ := zipfInt(rng, 1.6, 110)
+	addSat("movie_info", nMI, 1.35, func(t *data.Table, i int) {
+		t.Column("info_type_id").AppendInt(infoZ())
+	})
+	kwZ := zipfInt(rng, 1.8, 5000)
+	addSat("movie_keyword", nMK, 1.3, func(t *data.Table, i int) {
+		t.Column("keyword_id").AppendInt(kwZ())
+	})
+	addSat("cast_info", nCI, 1.45, func(t *data.Table, i int) {
+		t.Column("role_id").AppendInt(int64(rng.Intn(12)))
+		t.Column("nr_order").AppendInt(int64(rng.Intn(50)))
+	})
+	addSat("movie_info_idx", nMIIdx, 1.25, func(t *data.Table, i int) {
+		t.Column("info_type_id").AppendInt(int64(99 + rng.Intn(3)))
+	})
+
+	for _, sat := range []string{"movie_companies", "movie_info", "movie_keyword", "cast_info", "movie_info_idx"} {
+		cat.DeclareFK(sat, "movie_id", "title", "id")
+	}
+	buildPKFKIndexes(cat)
+	return cat
+}
+
+// TPCHLite generates a simplified TPC-H-like schema with near-uniform
+// distributions — the "easy" benchmark on which traditional estimators
+// already do well, included to show where learning does NOT pay off.
+func TPCHLite(cfg Config) *data.Catalog {
+	rng := rand.New(rand.NewSource(cfg.Seed + 191))
+	cat := data.NewCatalog()
+
+	nCust := cfg.scale(1500)
+	nOrders := cfg.scale(6000)
+	nLine := cfg.scale(15000)
+	nPart := cfg.scale(2000)
+	nSupp := cfg.scale(400)
+
+	customer := data.NewTable("customer", intCol("id"), intCol("nation"), intCol("segment"), floatCol("acctbal"))
+	for i := 0; i < nCust; i++ {
+		customer.Column("id").AppendInt(int64(i))
+		customer.Column("nation").AppendInt(int64(rng.Intn(25)))
+		customer.Column("segment").AppendInt(int64(rng.Intn(5)))
+		customer.Column("acctbal").AppendFloat(rng.Float64() * 10000)
+	}
+	cat.Add(customer)
+
+	orders := data.NewTable("orders", intCol("id"), intCol("cust_id"), intCol("status"), intCol("priority"), intCol("order_year"))
+	for i := 0; i < nOrders; i++ {
+		orders.Column("id").AppendInt(int64(i))
+		orders.Column("cust_id").AppendInt(int64(rng.Intn(nCust)))
+		orders.Column("status").AppendInt(int64(rng.Intn(3)))
+		orders.Column("priority").AppendInt(int64(rng.Intn(5)))
+		orders.Column("order_year").AppendInt(int64(1992 + rng.Intn(7)))
+	}
+	cat.Add(orders)
+
+	lineitem := data.NewTable("lineitem", intCol("id"), intCol("order_id"), intCol("part_id"), intCol("supp_id"), intCol("quantity"), intCol("returnflag"))
+	for i := 0; i < nLine; i++ {
+		lineitem.Column("id").AppendInt(int64(i))
+		lineitem.Column("order_id").AppendInt(int64(rng.Intn(nOrders)))
+		lineitem.Column("part_id").AppendInt(int64(rng.Intn(nPart)))
+		lineitem.Column("supp_id").AppendInt(int64(rng.Intn(nSupp)))
+		lineitem.Column("quantity").AppendInt(int64(1 + rng.Intn(50)))
+		lineitem.Column("returnflag").AppendInt(int64(rng.Intn(3)))
+	}
+	cat.Add(lineitem)
+
+	part := data.NewTable("part", intCol("id"), intCol("brand"), intCol("size"))
+	for i := 0; i < nPart; i++ {
+		part.Column("id").AppendInt(int64(i))
+		part.Column("brand").AppendInt(int64(rng.Intn(25)))
+		part.Column("size").AppendInt(int64(1 + rng.Intn(50)))
+	}
+	cat.Add(part)
+
+	supplier := data.NewTable("supplier", intCol("id"), intCol("nation"))
+	for i := 0; i < nSupp; i++ {
+		supplier.Column("id").AppendInt(int64(i))
+		supplier.Column("nation").AppendInt(int64(rng.Intn(25)))
+	}
+	cat.Add(supplier)
+
+	cat.DeclareFK("orders", "cust_id", "customer", "id")
+	cat.DeclareFK("lineitem", "order_id", "orders", "id")
+	cat.DeclareFK("lineitem", "part_id", "part", "id")
+	cat.DeclareFK("lineitem", "supp_id", "supplier", "id")
+	buildPKFKIndexes(cat)
+	return cat
+}
+
+// buildPKFKIndexes indexes every column named "id" or ending in "_id"
+// (plus known FK columns) so index scans and index-aware costing work.
+func buildPKFKIndexes(cat *data.Catalog) {
+	for _, name := range cat.TableNames() {
+		t := cat.Table(name)
+		for _, c := range t.Cols {
+			if c.Name == "id" || hasSuffix(c.Name, "_id") {
+				// Index build errors cannot occur here: key columns are Int.
+				_, _ = t.BuildIndex(c.Name)
+			}
+		}
+	}
+}
+
+func hasSuffix(s, suf string) bool {
+	return len(s) >= len(suf) && s[len(s)-len(suf):] == suf
+}

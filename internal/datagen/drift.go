@@ -1,0 +1,82 @@
+package datagen
+
+import (
+	"math"
+	"math/rand"
+
+	"lqo/internal/data"
+)
+
+// DriftOptions controls ApplyDrift.
+type DriftOptions struct {
+	Seed int64
+	// Fraction of current rows to append per table (e.g. 0.3 appends 30%).
+	Fraction float64
+	// Shift displaces non-key integer attribute values, changing the
+	// distribution the data-driven models learned.
+	Shift int64
+}
+
+// ApplyDrift appends Fraction new rows to every table in cat, drawn by
+// resampling existing rows and shifting non-key attributes, and — the part
+// that hurts stale models most — re-drawing foreign keys *uniformly* over
+// their existing domain, which flips the Zipf join fan-out the models
+// memorized. It models the dynamic-data setting of [61]/[25]/[29]: the
+// joint and join distributions move and stale models go wrong. Primary
+// keys continue their sequence so referential structure stays valid.
+// Indexes are rebuilt.
+func ApplyDrift(cat *data.Catalog, opts DriftOptions) {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	if opts.Fraction <= 0 {
+		return
+	}
+	for _, name := range cat.TableNames() {
+		t := cat.Table(name)
+		n := t.NumRows()
+		add := int(float64(n) * opts.Fraction)
+		// FK domains: max existing value per key column (values stay valid
+		// references because referenced ids are dense 0..max).
+		fkMax := map[string]int64{}
+		for _, c := range t.Cols {
+			if hasSuffix(c.Name, "_id") {
+				mx := int64(0)
+				for _, v := range c.Ints {
+					if v > mx {
+						mx = v
+					}
+				}
+				fkMax[c.Name] = mx
+			}
+		}
+		for k := 0; k < add; k++ {
+			src := rng.Intn(n)
+			for _, c := range t.Cols {
+				switch {
+				case c.Name == "id":
+					c.AppendInt(int64(c.Len()))
+				case hasSuffix(c.Name, "_id"):
+					// Re-draw with the Zipf hot spot moved to the OTHER end
+					// of the key domain: keys that were cold become hot, so
+					// the fan-out distribution stale models memorized is
+					// wrong while overall skew stays realistic.
+					mx := fkMax[c.Name]
+					v := mx - int64(float64(mx)*math.Pow(rng.Float64(), 3))
+					c.AppendInt(v)
+				case c.Kind == data.Float:
+					c.AppendFloat(c.Flts[src] * (1.2 + rng.Float64()*0.6))
+				default:
+					v := c.Ints[src] + opts.Shift
+					if opts.Shift != 0 {
+						v += int64(rng.Intn(5))
+					}
+					c.AppendInt(v)
+				}
+			}
+		}
+		for _, c := range t.Cols {
+			if t.Index(c.Name) != nil {
+				_, _ = t.BuildIndex(c.Name)
+			}
+		}
+	}
+}

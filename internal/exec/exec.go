@@ -1,0 +1,440 @@
+// Package exec implements the volcano-style executor of the workbench's
+// engine substrate. It evaluates physical plans over the in-memory catalog,
+// producing exact result cardinalities (the training labels for every
+// learned component) and a deterministic cost measurement.
+//
+// Latency model. Join results are always computed hash-based internally for
+// tractability, but each operator is *charged* work units according to its
+// own algorithm (nested-loop pays |L|·|R|, merge pays sort+merge, hash pays
+// build+probe). Work units are the workbench's deterministic stand-in for
+// wall-clock latency: plan comparisons and regression factors are exactly
+// reproducible across runs and machines.
+package exec
+
+import (
+	"fmt"
+	"math"
+
+	"lqo/internal/data"
+	"lqo/internal/plan"
+	"lqo/internal/query"
+)
+
+// CostStats accumulates the executor's measured work.
+type CostStats struct {
+	TuplesRead   int64   // base-table tuples scanned
+	TuplesJoined int64   // tuples emitted by joins
+	IndexLookups int64   // index probes
+	WorkUnits    float64 // total charged work (the latency proxy)
+}
+
+// Add accumulates other into s.
+func (s *CostStats) Add(other CostStats) {
+	s.TuplesRead += other.TuplesRead
+	s.TuplesJoined += other.TuplesJoined
+	s.IndexLookups += other.IndexLookups
+	s.WorkUnits += other.WorkUnits
+}
+
+// Per-tuple work constants. The ratios mirror PostgreSQL's defaults in
+// spirit: sequential reads are cheap, random index access costs more per
+// lookup but touches fewer tuples, hashing costs a little over reading.
+const (
+	cRead      = 1.0  // read one base tuple
+	cPred      = 0.2  // evaluate one predicate on one tuple
+	cHashBuild = 1.5  // insert one tuple into a hash table
+	cHashProbe = 1.2  // probe one tuple
+	cIndexSeek = 4.0  // one index lookup
+	cOutput    = 0.3  // emit one tuple
+	cNLCompare = 0.15 // one nested-loop pair comparison
+	cSortUnit  = 1.1  // one n·log2(n) unit for merge-join sorting
+	cStartup   = 5.0  // per-operator startup
+)
+
+// Result is the outcome of executing a plan.
+type Result struct {
+	Count int64 // result cardinality (row count of the join result)
+	// Value is the query's aggregate: equal to Count for COUNT(*), and
+	// the SUM/AVG/MIN/MAX of the target column otherwise (0 over an empty
+	// result, except MIN/MAX which are NaN).
+	Value float64
+	Stats CostStats
+}
+
+// Relation is a materialized intermediate: tuples of row ids, one per
+// covered alias.
+type Relation struct {
+	Aliases []string
+	pos     map[string]int
+	Tuples  [][]int32
+}
+
+func newRelation(aliases []string) *Relation {
+	r := &Relation{Aliases: aliases, pos: make(map[string]int, len(aliases))}
+	for i, a := range aliases {
+		r.pos[a] = i
+	}
+	return r
+}
+
+// Len returns the tuple count.
+func (r *Relation) Len() int { return len(r.Tuples) }
+
+// Executor runs physical plans against a catalog.
+type Executor struct {
+	Cat *data.Catalog
+	// MaxIntermediate caps materialized intermediate sizes; exceeded plans
+	// fail rather than exhaust memory. 0 means the default (5M tuples).
+	MaxIntermediate int
+}
+
+// New returns an executor over cat.
+func New(cat *data.Catalog) *Executor {
+	return &Executor{Cat: cat}
+}
+
+func (e *Executor) maxRows() int {
+	if e.MaxIntermediate > 0 {
+		return e.MaxIntermediate
+	}
+	return 5_000_000
+}
+
+// Run executes the plan rooted at p for query q. It annotates every plan
+// node's TrueCard and returns the final cardinality, the query's
+// aggregate value, and the measured cost.
+func (e *Executor) Run(q *query.Query, p *plan.Node) (*Result, error) {
+	st := &CostStats{}
+	rel, err := e.eval(q, p, st)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Count: int64(rel.Len()), Stats: *st}
+	v, err := e.aggregate(q, rel, st)
+	if err != nil {
+		return nil, err
+	}
+	res.Value = v
+	return res, nil
+}
+
+// aggregate computes q.Agg over the final relation.
+func (e *Executor) aggregate(q *query.Query, rel *Relation, st *CostStats) (float64, error) {
+	if q.Agg.Kind == query.AggCount {
+		return float64(rel.Len()), nil
+	}
+	pos, ok := rel.pos[q.Agg.Alias]
+	if !ok {
+		return 0, fmt.Errorf("exec: aggregate alias %q not in plan output", q.Agg.Alias)
+	}
+	tbl := e.Cat.Table(q.TableOf(q.Agg.Alias))
+	if tbl == nil {
+		return 0, fmt.Errorf("exec: unknown table for aggregate alias %q", q.Agg.Alias)
+	}
+	col := tbl.Column(q.Agg.Column)
+	if col == nil {
+		return 0, fmt.Errorf("exec: unknown aggregate column %s.%s", q.Agg.Alias, q.Agg.Column)
+	}
+	st.WorkUnits += float64(rel.Len()) * cPred
+	if rel.Len() == 0 {
+		if q.Agg.Kind == query.AggMin || q.Agg.Kind == query.AggMax {
+			return math.NaN(), nil
+		}
+		return 0, nil
+	}
+	sum := 0.0
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, t := range rel.Tuples {
+		v := col.Float(int(t[pos]))
+		sum += v
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	switch q.Agg.Kind {
+	case query.AggSum:
+		return sum, nil
+	case query.AggAvg:
+		return sum / float64(rel.Len()), nil
+	case query.AggMin:
+		return lo, nil
+	default: // AggMax
+		return hi, nil
+	}
+}
+
+func (e *Executor) eval(q *query.Query, n *plan.Node, st *CostStats) (*Relation, error) {
+	if n.IsLeaf() {
+		return e.evalScan(q, n, st)
+	}
+	left, err := e.eval(q, n.Left, st)
+	if err != nil {
+		return nil, err
+	}
+	right, err := e.eval(q, n.Right, st)
+	if err != nil {
+		return nil, err
+	}
+	out, err := e.evalJoin(q, n, left, right, st)
+	if err != nil {
+		return nil, err
+	}
+	n.TrueCard = float64(out.Len())
+	return out, nil
+}
+
+func (e *Executor) evalScan(q *query.Query, n *plan.Node, st *CostStats) (*Relation, error) {
+	tbl := e.Cat.Table(n.Table)
+	if tbl == nil {
+		return nil, fmt.Errorf("exec: unknown table %q", n.Table)
+	}
+	rel := newRelation([]string{n.Alias})
+	st.WorkUnits += cStartup
+
+	preds := n.Preds
+	switch n.Op {
+	case plan.SeqScan:
+		nrows := tbl.NumRows()
+		st.TuplesRead += int64(nrows)
+		st.WorkUnits += float64(nrows) * (cRead + cPred*float64(len(preds)))
+		cols, err := bindPredCols(tbl, preds)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < nrows; i++ {
+			if matchesAll(cols, preds, i) {
+				rel.Tuples = append(rel.Tuples, []int32{int32(i)})
+			}
+		}
+	case plan.IndexScan:
+		eqIdx := -1
+		var ix *data.Index
+		for i, p := range preds {
+			if p.Op == query.Eq {
+				if cand := tbl.Index(p.Column); cand != nil {
+					eqIdx, ix = i, cand
+					break
+				}
+			}
+		}
+		if ix == nil {
+			return nil, fmt.Errorf("exec: IndexScan on %s(%s) has no usable equality index", n.Table, n.Alias)
+		}
+		st.IndexLookups++
+		rows := ix.Rows(preds[eqIdx].Val.I)
+		rest := make([]query.Pred, 0, len(preds)-1)
+		for i, p := range preds {
+			if i != eqIdx {
+				rest = append(rest, p)
+			}
+		}
+		cols, err := bindPredCols(tbl, rest)
+		if err != nil {
+			return nil, err
+		}
+		st.TuplesRead += int64(len(rows))
+		st.WorkUnits += cIndexSeek + float64(len(rows))*(cRead+cPred*float64(len(rest)))
+		for _, r := range rows {
+			if matchesAll(cols, rest, int(r)) {
+				rel.Tuples = append(rel.Tuples, []int32{r})
+			}
+		}
+	default:
+		return nil, fmt.Errorf("exec: %s is not a scan operator", n.Op)
+	}
+	st.WorkUnits += float64(rel.Len()) * cOutput
+	n.TrueCard = float64(rel.Len())
+	return rel, nil
+}
+
+func bindPredCols(tbl *data.Table, preds []query.Pred) ([]*data.Column, error) {
+	cols := make([]*data.Column, len(preds))
+	for i, p := range preds {
+		c := tbl.Column(p.Column)
+		if c == nil {
+			return nil, fmt.Errorf("exec: unknown column %s.%s", tbl.Name, p.Column)
+		}
+		cols[i] = c
+	}
+	return cols, nil
+}
+
+func matchesAll(cols []*data.Column, preds []query.Pred, row int) bool {
+	for i, p := range preds {
+		if !p.Matches(cols[i].Float(row)) {
+			return false
+		}
+	}
+	return true
+}
+
+// joinKeyCols resolves, for one side of a join, the (relation position,
+// column) pairs supplying the composite key.
+type keyCol struct {
+	pos int
+	col *data.Column
+}
+
+func (e *Executor) keyCols(q *query.Query, rel *Relation, conds []query.Join, leftSide bool) ([]keyCol, error) {
+	out := make([]keyCol, len(conds))
+	for i, j := range conds {
+		alias, col := j.LeftAlias, j.LeftCol
+		if !leftSide {
+			alias, col = j.RightAlias, j.RightCol
+		}
+		// The condition may be written with sides swapped relative to the
+		// plan's children; normalize by membership.
+		if _, ok := rel.pos[alias]; !ok {
+			alias, col = j.RightAlias, j.RightCol
+			if !leftSide {
+				alias, col = j.LeftAlias, j.LeftCol
+			}
+		}
+		p, ok := rel.pos[alias]
+		if !ok {
+			return nil, fmt.Errorf("exec: join condition %s references alias outside both inputs", j)
+		}
+		tbl := e.Cat.Table(q.TableOf(alias))
+		if tbl == nil {
+			return nil, fmt.Errorf("exec: unknown table for alias %q", alias)
+		}
+		c := tbl.Column(col)
+		if c == nil {
+			return nil, fmt.Errorf("exec: unknown join column %s.%s", alias, col)
+		}
+		out[i] = keyCol{pos: p, col: c}
+	}
+	return out, nil
+}
+
+func compositeKey(t []int32, kcs []keyCol) uint64 {
+	// FNV-1a over the key values; collisions are resolved by re-check at
+	// emit time being unnecessary since we hash full int64 values into the
+	// map key below (we use a string-free 64-bit mix, collision probability
+	// is negligible for workbench scales but we still verify equality).
+	var h uint64 = 1469598103934665603
+	for _, kc := range kcs {
+		v := uint64(kc.col.Ints[t[kc.pos]])
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= 1099511628211
+		}
+	}
+	return h
+}
+
+func keysEqual(lt []int32, lks []keyCol, rt []int32, rks []keyCol) bool {
+	for i := range lks {
+		if lks[i].col.Ints[lt[lks[i].pos]] != rks[i].col.Ints[rt[rks[i].pos]] {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *Executor) evalJoin(q *query.Query, n *plan.Node, left, right *Relation, st *CostStats) (*Relation, error) {
+	st.WorkUnits += cStartup
+	out := newRelation(append(append([]string{}, left.Aliases...), right.Aliases...))
+
+	if len(n.Cond) == 0 {
+		// Cross product: only nested loop supports it.
+		if n.Op != plan.NestedLoopJoin {
+			return nil, fmt.Errorf("exec: %s requires at least one equi-join condition", n.Op)
+		}
+		total := left.Len() * right.Len()
+		if total > e.maxRows() {
+			return nil, fmt.Errorf("exec: cross product of %d x %d exceeds intermediate cap", left.Len(), right.Len())
+		}
+		st.WorkUnits += float64(left.Len()) * float64(right.Len()) * cNLCompare
+		for _, lt := range left.Tuples {
+			for _, rt := range right.Tuples {
+				out.Tuples = append(out.Tuples, concatTuple(lt, rt))
+			}
+		}
+		st.TuplesJoined += int64(out.Len())
+		st.WorkUnits += float64(out.Len()) * cOutput
+		return out, nil
+	}
+
+	lks, err := e.keyCols(q, left, n.Cond, true)
+	if err != nil {
+		return nil, err
+	}
+	rks, err := e.keyCols(q, right, n.Cond, false)
+	if err != nil {
+		return nil, err
+	}
+	for _, kc := range append(append([]keyCol{}, lks...), rks...) {
+		if kc.col.Kind == data.Float {
+			return nil, fmt.Errorf("exec: equi-join on float column unsupported")
+		}
+	}
+
+	// Charge operator-specific work.
+	nl, nr := float64(left.Len()), float64(right.Len())
+	switch n.Op {
+	case plan.HashJoin:
+		st.WorkUnits += nr*cHashBuild + nl*cHashProbe
+	case plan.MergeJoin:
+		st.WorkUnits += cSortUnit * (nlogn(nl) + nlogn(nr))
+	case plan.NestedLoopJoin:
+		st.WorkUnits += nl * nr * cNLCompare
+	default:
+		return nil, fmt.Errorf("exec: %s is not a join operator", n.Op)
+	}
+
+	// Evaluate hash-based regardless of the charged algorithm: build on the
+	// smaller side for memory, probe with the larger.
+	build, probe := right, left
+	bks, pks := rks, lks
+	buildIsRight := true
+	if left.Len() < right.Len() {
+		build, probe = left, right
+		bks, pks = lks, rks
+		buildIsRight = false
+	}
+	ht := make(map[uint64][]int32, build.Len())
+	for ti, t := range build.Tuples {
+		h := compositeKey(t, bks)
+		ht[h] = append(ht[h], int32(ti))
+	}
+	limit := e.maxRows()
+	for _, pt := range probe.Tuples {
+		h := compositeKey(pt, pks)
+		for _, bi := range ht[h] {
+			bt := build.Tuples[bi]
+			if !keysEqual(pt, pks, bt, bks) {
+				continue
+			}
+			var lt, rt []int32
+			if buildIsRight {
+				lt, rt = pt, bt
+			} else {
+				lt, rt = bt, pt
+			}
+			out.Tuples = append(out.Tuples, concatTuple(lt, rt))
+			if out.Len() > limit {
+				return nil, fmt.Errorf("exec: join output exceeds intermediate cap (%d)", limit)
+			}
+		}
+	}
+	st.TuplesJoined += int64(out.Len())
+	st.WorkUnits += float64(out.Len()) * cOutput
+	return out, nil
+}
+
+func concatTuple(a, b []int32) []int32 {
+	t := make([]int32, 0, len(a)+len(b))
+	t = append(t, a...)
+	return append(t, b...)
+}
+
+func nlogn(n float64) float64 {
+	if n < 2 {
+		return n
+	}
+	return n * math.Log2(n)
+}

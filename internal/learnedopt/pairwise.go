@@ -1,0 +1,134 @@
+package learnedopt
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"lqo/internal/costmodel"
+	"lqo/internal/data"
+	"lqo/internal/ml"
+	"lqo/internal/plan"
+)
+
+// PairwiseComparator is the learning-to-rank risk model shared by Lero
+// [79] and LEON [4]: a scorer network s(·) over plan features trained with
+// logistic loss on executed plan pairs, P(p1 faster than p2) =
+// σ(s(p2) − s(p1)). Lower score = predicted faster.
+type PairwiseComparator struct {
+	Epochs int
+	LR     float64
+
+	f   *costmodel.PlanFeaturizer
+	net *ml.Net
+}
+
+// NewPairwiseComparator returns an untrained comparator.
+func NewPairwiseComparator() *PairwiseComparator {
+	return &PairwiseComparator{Epochs: 60, LR: 1e-3}
+}
+
+// PlanPair is one training comparison: two plans for the same query with
+// measured latencies.
+type PlanPair struct {
+	P1, P2     *plan.Node
+	Lat1, Lat2 float64
+}
+
+// Train fits the scorer on executed pairs.
+func (c *PairwiseComparator) Train(cat *data.Catalog, pairs []PlanPair, seed int64) error {
+	if len(pairs) == 0 {
+		return fmt.Errorf("learnedopt: comparator needs training pairs")
+	}
+	c.f = costmodel.NewPlanFeaturizer(cat, false)
+	rng := rand.New(rand.NewSource(seed))
+	c.net = ml.NewNet([]int{c.f.Dim(), 32, 1}, ml.ReLU, rng)
+	adam := ml.NewAdam(c.LR, c.net)
+	idx := make([]int, len(pairs))
+	for i := range idx {
+		idx[i] = i
+	}
+	const batch = 16
+	for e := 0; e < c.Epochs; e++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for s := 0; s < len(idx); s += batch {
+			end := s + batch
+			if end > len(idx) {
+				end = len(idx)
+			}
+			for _, i := range idx[s:end] {
+				c.trainOne(pairs[i])
+			}
+			adam.Step(end - s)
+		}
+	}
+	return nil
+}
+
+func (c *PairwiseComparator) trainOne(p PlanPair) {
+	// y = 1 if P1 faster.
+	y := 0.0
+	if p.Lat1 < p.Lat2 {
+		y = 1
+	}
+	c1 := c.net.ForwardCache(c.f.Vector(p.P1))
+	c2 := c.net.ForwardCache(c.f.Vector(p.P2))
+	// prob = σ(s2 − s1); logistic loss gradient d = prob − y.
+	prob := sigmoid(c2.Output()[0] - c1.Output()[0])
+	d := prob - y
+	c.net.Backward(c1, []float64{-d})
+	c.net.Backward(c2, []float64{d})
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// Score returns the plan's predicted-slowness score (lower is faster).
+func (c *PairwiseComparator) Score(p *plan.Node) float64 {
+	if c.net == nil {
+		return 0
+	}
+	return c.net.Forward(c.f.Vector(p))[0]
+}
+
+// Better reports whether p1 is predicted faster than p2.
+func (c *PairwiseComparator) Better(p1, p2 *plan.Node) bool {
+	return c.Score(p1) < c.Score(p2)
+}
+
+// SelectBest returns the plan winning the most pairwise comparisons —
+// Lero's selection rule. Ties break toward lower score.
+func (c *PairwiseComparator) SelectBest(plans []*plan.Node) *plan.Node {
+	if len(plans) == 0 {
+		return nil
+	}
+	bestWins, bestIdx := -1, 0
+	bestScore := math.Inf(1)
+	for i, p := range plans {
+		wins := 0
+		for j, o := range plans {
+			if i != j && c.Better(p, o) {
+				wins++
+			}
+		}
+		s := c.Score(p)
+		if wins > bestWins || (wins == bestWins && s < bestScore) {
+			bestWins, bestIdx, bestScore = wins, i, s
+		}
+	}
+	return plans[bestIdx]
+}
+
+// PairsFromRuns builds all O(k²) training pairs from one query's executed
+// candidate set.
+func PairsFromRuns(plans []*plan.Node, lats []float64) []PlanPair {
+	var out []PlanPair
+	for i := range plans {
+		for j := i + 1; j < len(plans); j++ {
+			if lats[i] == lats[j] {
+				continue
+			}
+			out = append(out, PlanPair{P1: plans[i], P2: plans[j], Lat1: lats[i], Lat2: lats[j]})
+		}
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+// Package metrics provides the evaluation metrics shared across the
+// workbench: q-error, quantile summaries, geometric means and rank
+// correlation.
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// QError is the standard cardinality-estimation error metric:
+// max(est/true, true/est), with both sides floored at 1 tuple.
+func QError(est, truth float64) float64 {
+	if est < 1 {
+		est = 1
+	}
+	if truth < 1 {
+		truth = 1
+	}
+	if est > truth {
+		return est / truth
+	}
+	return truth / est
+}
+
+// Quantiles summarizes a sample at the 50th/90th/95th/99th percentiles
+// plus the maximum. The input is not modified.
+type Quantiles struct {
+	P50, P90, P95, P99, Max float64
+	Mean                    float64
+	N                       int
+}
+
+// Summarize computes Quantiles over vals.
+func Summarize(vals []float64) Quantiles {
+	if len(vals) == 0 {
+		return Quantiles{}
+	}
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	q := Quantiles{N: len(s), Max: s[len(s)-1]}
+	at := func(p float64) float64 {
+		i := int(p * float64(len(s)-1))
+		return s[i]
+	}
+	q.P50, q.P90, q.P95, q.P99 = at(0.50), at(0.90), at(0.95), at(0.99)
+	total := 0.0
+	for _, v := range s {
+		total += v
+	}
+	q.Mean = total / float64(len(s))
+	return q
+}
+
+// GeoMean returns the geometric mean of vals (values floored at a tiny
+// positive constant so zeros don't collapse the product).
+func GeoMean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range vals {
+		if v < 1e-9 {
+			v = 1e-9
+		}
+		s += math.Log(v)
+	}
+	return math.Exp(s / float64(len(vals)))
+}
+
+// SpearmanRho computes Spearman's rank correlation between two samples —
+// the plan-cost/latency correlation metric used in cost-model studies.
+func SpearmanRho(a, b []float64) float64 {
+	n := len(a)
+	if n < 2 || len(b) != n {
+		return 0
+	}
+	ra := ranks(a)
+	rb := ranks(b)
+	var sa, sb, saa, sbb, sab float64
+	for i := 0; i < n; i++ {
+		sa += ra[i]
+		sb += rb[i]
+		saa += ra[i] * ra[i]
+		sbb += rb[i] * rb[i]
+		sab += ra[i] * rb[i]
+	}
+	fn := float64(n)
+	cov := sab/fn - (sa/fn)*(sb/fn)
+	va := saa/fn - (sa/fn)*(sa/fn)
+	vb := sbb/fn - (sb/fn)*(sb/fn)
+	if va <= 0 || vb <= 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
+func ranks(v []float64) []float64 {
+	type iv struct {
+		i int
+		v float64
+	}
+	s := make([]iv, len(v))
+	for i, x := range v {
+		s[i] = iv{i, x}
+	}
+	sort.Slice(s, func(a, b int) bool { return s[a].v < s[b].v })
+	out := make([]float64, len(v))
+	for r := 0; r < len(s); {
+		// Average ranks over ties.
+		e := r
+		for e+1 < len(s) && s[e+1].v == s[r].v {
+			e++
+		}
+		avg := float64(r+e) / 2
+		for k := r; k <= e; k++ {
+			out[s[k].i] = avg
+		}
+		r = e + 1
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestQError(t *testing.T) {
+	cases := []struct {
+		est, truth, want float64
+	}{
+		{10, 10, 1},
+		{100, 10, 10},
+		{10, 100, 10},
+		{0, 0, 1},   // both floored to 1
+		{0.5, 2, 2}, // est floored to 1
+		{1000, 1, 1000},
+	}
+	for _, c := range cases {
+		if got := QError(c.est, c.truth); got != c.want {
+			t.Errorf("QError(%v, %v) = %v, want %v", c.est, c.truth, got, c.want)
+		}
+	}
+}
+
+func TestQErrorProperties(t *testing.T) {
+	err := quick.Check(func(a, b uint16) bool {
+		e, tr := float64(a), float64(b)
+		q := QError(e, tr)
+		// Symmetric and at least 1.
+		return q >= 1 && q == QError(tr, e)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	var vals []float64
+	for i := 1; i <= 100; i++ {
+		vals = append(vals, float64(i))
+	}
+	s := Summarize(vals)
+	if s.N != 100 || s.Max != 100 {
+		t.Fatalf("N=%d Max=%v", s.N, s.Max)
+	}
+	if s.P50 < 49 || s.P50 > 52 {
+		t.Fatalf("P50 = %v", s.P50)
+	}
+	if s.P99 < 98 {
+		t.Fatalf("P99 = %v", s.P99)
+	}
+	if math.Abs(s.Mean-50.5) > 1e-9 {
+		t.Fatalf("Mean = %v", s.Mean)
+	}
+	// Order invariance.
+	rev := make([]float64, len(vals))
+	for i, v := range vals {
+		rev[len(vals)-1-i] = v
+	}
+	if Summarize(rev) != s {
+		t.Fatal("Summarize not order-invariant")
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Fatal("empty summarize")
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	vals := []float64{3, 1, 2}
+	Summarize(vals)
+	if vals[0] != 3 || vals[1] != 1 || vals[2] != 2 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 100}); math.Abs(g-10) > 1e-9 {
+		t.Fatalf("GeoMean(1,100) = %v", g)
+	}
+	if g := GeoMean([]float64{4, 4, 4}); math.Abs(g-4) > 1e-9 {
+		t.Fatalf("GeoMean const = %v", g)
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("empty geomean")
+	}
+	// Zeros are floored, never -inf.
+	if g := GeoMean([]float64{0, 1}); math.IsInf(g, 0) || math.IsNaN(g) {
+		t.Fatalf("GeoMean with zero = %v", g)
+	}
+}
+
+func TestSpearmanPerfect(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	b := []float64{10, 20, 30, 40, 50}
+	if rho := SpearmanRho(a, b); math.Abs(rho-1) > 1e-9 {
+		t.Fatalf("rho = %v, want 1", rho)
+	}
+	c := []float64{50, 40, 30, 20, 10}
+	if rho := SpearmanRho(a, c); math.Abs(rho+1) > 1e-9 {
+		t.Fatalf("rho = %v, want -1", rho)
+	}
+}
+
+func TestSpearmanRankBased(t *testing.T) {
+	// Monotone but nonlinear relation still gives rho = 1.
+	a := []float64{1, 2, 3, 4, 5}
+	b := []float64{1, 10, 100, 1000, 10000}
+	if rho := SpearmanRho(a, b); math.Abs(rho-1) > 1e-9 {
+		t.Fatalf("rho = %v, want 1 for monotone data", rho)
+	}
+}
+
+func TestSpearmanTiesAndEdges(t *testing.T) {
+	if rho := SpearmanRho([]float64{1}, []float64{2}); rho != 0 {
+		t.Fatalf("single point rho = %v", rho)
+	}
+	if rho := SpearmanRho([]float64{1, 2}, []float64{3}); rho != 0 {
+		t.Fatalf("mismatched lengths rho = %v", rho)
+	}
+	// Constant series has no variance: rho = 0.
+	if rho := SpearmanRho([]float64{1, 1, 1}, []float64{1, 2, 3}); rho != 0 {
+		t.Fatalf("constant rho = %v", rho)
+	}
+	// Ties average ranks: still well-defined and bounded.
+	rho := SpearmanRho([]float64{1, 1, 2, 2}, []float64{1, 2, 3, 4})
+	if rho < -1 || rho > 1 {
+		t.Fatalf("tied rho out of range: %v", rho)
+	}
+}

@@ -1,0 +1,135 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+)
+
+// KMeansResult holds cluster centroids and point assignments.
+type KMeansResult struct {
+	Centroids [][]float64
+	Assign    []int
+}
+
+// KMeans clusters xs into k groups with Lloyd's algorithm and k-means++
+// seeding. Deterministic given rng. Returns at most k non-empty clusters.
+func KMeans(xs [][]float64, k, iters int, rng *rand.Rand) *KMeansResult {
+	n := len(xs)
+	if n == 0 {
+		return &KMeansResult{}
+	}
+	if k > n {
+		k = n
+	}
+	if k < 1 {
+		k = 1
+	}
+	d := len(xs[0])
+
+	// k-means++ seeding.
+	cents := make([][]float64, 0, k)
+	first := append([]float64(nil), xs[rng.Intn(n)]...)
+	cents = append(cents, first)
+	dist := make([]float64, n)
+	for len(cents) < k {
+		total := 0.0
+		for i, x := range xs {
+			dmin := math.Inf(1)
+			for _, c := range cents {
+				if dd := sqDist(x, c); dd < dmin {
+					dmin = dd
+				}
+			}
+			dist[i] = dmin
+			total += dmin
+		}
+		if total == 0 {
+			break // all points identical to centroids
+		}
+		r := rng.Float64() * total
+		pick := 0
+		for i, dd := range dist {
+			r -= dd
+			if r <= 0 {
+				pick = i
+				break
+			}
+		}
+		cents = append(cents, append([]float64(nil), xs[pick]...))
+	}
+	k = len(cents)
+
+	assign := make([]int, n)
+	for it := 0; it < iters; it++ {
+		changed := false
+		for i, x := range xs {
+			best, bd := 0, math.Inf(1)
+			for c, cent := range cents {
+				if dd := sqDist(x, cent); dd < bd {
+					bd, best = dd, c
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		counts := make([]int, k)
+		sums := make([][]float64, k)
+		for c := range sums {
+			sums[c] = make([]float64, d)
+		}
+		for i, x := range xs {
+			c := assign[i]
+			counts[c]++
+			for j, v := range x {
+				sums[c][j] += v
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				continue
+			}
+			for j := range sums[c] {
+				cents[c][j] = sums[c][j] / float64(counts[c])
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return &KMeansResult{Centroids: cents, Assign: assign}
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Softmax writes the softmax of logits into out (allocating if nil) and
+// returns it. Numerically stable.
+func Softmax(logits []float64, out []float64) []float64 {
+	if out == nil {
+		out = make([]float64, len(logits))
+	}
+	mx := math.Inf(-1)
+	for _, v := range logits {
+		if v > mx {
+			mx = v
+		}
+	}
+	sum := 0.0
+	for i, v := range logits {
+		e := math.Exp(v - mx)
+		out[i] = e
+		sum += e
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}

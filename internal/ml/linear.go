@@ -1,0 +1,90 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// Ridge is an L2-regularized linear regression model fit in closed form
+// via the normal equations — the earliest learned cardinality model [36].
+type Ridge struct {
+	W    []float64
+	Bias float64
+}
+
+// FitRidge solves (XᵀX + λI)w = Xᵀy with an intercept column.
+func FitRidge(xs [][]float64, ys []float64, lambda float64) (*Ridge, error) {
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("ml: FitRidge needs data")
+	}
+	d := len(xs[0]) + 1 // +1 intercept
+	a := make([][]float64, d)
+	for i := range a {
+		a[i] = make([]float64, d+1)
+	}
+	row := make([]float64, d)
+	for k, x := range xs {
+		copy(row, x)
+		row[d-1] = 1
+		for i := 0; i < d; i++ {
+			for j := 0; j < d; j++ {
+				a[i][j] += row[i] * row[j]
+			}
+			a[i][d] += row[i] * ys[k]
+		}
+	}
+	for i := 0; i < d-1; i++ { // do not regularize the intercept
+		a[i][i] += lambda
+	}
+	w, err := solveGauss(a)
+	if err != nil {
+		return nil, err
+	}
+	return &Ridge{W: w[:d-1], Bias: w[d-1]}, nil
+}
+
+// Predict evaluates the model on x.
+func (r *Ridge) Predict(x []float64) float64 {
+	out := r.Bias
+	for i, w := range r.W {
+		out += w * x[i]
+	}
+	return out
+}
+
+// solveGauss solves the augmented system a·w = b (b stored as the last
+// column of a) with partial pivoting. a is destroyed.
+func solveGauss(a [][]float64) ([]float64, error) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		p := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[p][col]) {
+				p = r
+			}
+		}
+		if math.Abs(a[p][col]) < 1e-12 {
+			return nil, fmt.Errorf("ml: singular system at column %d", col)
+		}
+		a[col], a[p] = a[p], a[col]
+		piv := a[col][col]
+		for j := col; j <= n; j++ {
+			a[col][j] /= piv
+		}
+		for r := 0; r < n; r++ {
+			if r == col || a[r][col] == 0 {
+				continue
+			}
+			f := a[r][col]
+			for j := col; j <= n; j++ {
+				a[r][j] -= f * a[col][j]
+			}
+		}
+	}
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = a[i][n]
+	}
+	return w, nil
+}

@@ -1,0 +1,77 @@
+package ml
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// SaveNet serializes a trained network (weights and topology; optimizer
+// state is not persisted) with encoding/gob.
+func SaveNet(w io.Writer, n *Net) error {
+	if err := gob.NewEncoder(w).Encode(n); err != nil {
+		return fmt.Errorf("ml: save net: %w", err)
+	}
+	return nil
+}
+
+// LoadNet restores a network saved by SaveNet, ready for inference and
+// further training (gradient and Adam buffers are re-initialized).
+func LoadNet(r io.Reader) (*Net, error) {
+	var n Net
+	if err := gob.NewDecoder(r).Decode(&n); err != nil {
+		return nil, fmt.Errorf("ml: load net: %w", err)
+	}
+	for _, l := range n.Layers {
+		l.wake()
+	}
+	return &n, nil
+}
+
+// wake rebuilds the unexported training buffers after gob decoding.
+func (l *Layer) wake() {
+	if l.dW == nil {
+		l.dW = make([]float64, len(l.W))
+		l.vW = make([]float64, len(l.W))
+		l.mW = make([]float64, len(l.W))
+	}
+	if l.dB == nil {
+		l.dB = make([]float64, len(l.B))
+		l.vB = make([]float64, len(l.B))
+		l.mB = make([]float64, len(l.B))
+	}
+}
+
+// SaveGBDT serializes a boosted ensemble with encoding/gob.
+func SaveGBDT(w io.Writer, g *GBDT) error {
+	if err := gob.NewEncoder(w).Encode(g); err != nil {
+		return fmt.Errorf("ml: save gbdt: %w", err)
+	}
+	return nil
+}
+
+// LoadGBDT restores an ensemble saved by SaveGBDT.
+func LoadGBDT(r io.Reader) (*GBDT, error) {
+	var g GBDT
+	if err := gob.NewDecoder(r).Decode(&g); err != nil {
+		return nil, fmt.Errorf("ml: load gbdt: %w", err)
+	}
+	return &g, nil
+}
+
+// SaveRidge serializes a linear model with encoding/gob.
+func SaveRidge(w io.Writer, m *Ridge) error {
+	if err := gob.NewEncoder(w).Encode(m); err != nil {
+		return fmt.Errorf("ml: save ridge: %w", err)
+	}
+	return nil
+}
+
+// LoadRidge restores a model saved by SaveRidge.
+func LoadRidge(r io.Reader) (*Ridge, error) {
+	var m Ridge
+	if err := gob.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("ml: load ridge: %w", err)
+	}
+	return &m, nil
+}

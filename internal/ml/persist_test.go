@@ -1,0 +1,78 @@
+package ml
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestNetSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	net := NewNet([]int{3, 8, 1}, ReLU, rng)
+	xs := [][]float64{{0.1, 0.2, 0.3}, {0.9, 0.1, 0.5}}
+	ys := []float64{1, 2}
+	TrainRegression(net, xs, ys, 20, 2, 1e-2, rng)
+
+	var buf bytes.Buffer
+	if err := SaveNet(&buf, net); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadNet(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range xs {
+		if net.Forward(x)[0] != loaded.Forward(x)[0] {
+			t.Fatal("loaded net predicts differently")
+		}
+	}
+	// The loaded net must be trainable (buffers rebuilt).
+	TrainRegression(loaded, xs, ys, 5, 2, 1e-2, rng)
+}
+
+func TestGBDTSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 100; i++ {
+		v := rng.Float64()
+		xs = append(xs, []float64{v})
+		ys = append(ys, v*3+1)
+	}
+	g := FitGBDT(xs, ys, GBDTOptions{Rounds: 10})
+	var buf bytes.Buffer
+	if err := SaveGBDT(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadGBDT(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range xs[:10] {
+		if g.Predict(x) != loaded.Predict(x) {
+			t.Fatal("loaded gbdt predicts differently")
+		}
+	}
+}
+
+func TestRidgeSaveLoadRoundTrip(t *testing.T) {
+	m := &Ridge{W: []float64{1, 2}, Bias: 3}
+	var buf bytes.Buffer
+	if err := SaveRidge(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadRidge(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.5, 0.25}
+	if m.Predict(x) != loaded.Predict(x) {
+		t.Fatal("loaded ridge predicts differently")
+	}
+}
+
+func TestLoadNetGarbage(t *testing.T) {
+	if _, err := LoadNet(bytes.NewBufferString("not gob")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,0 +1,465 @@
+// Package opt implements the traditional volcano-style optimizer of the
+// workbench engine: Selinger dynamic programming over connected alias
+// subsets with a greedy fallback for large queries, operator selection
+// under Bao-style hint sets, and pluggable cardinality estimation — the
+// injection points every learned method in the survey steers through.
+package opt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"lqo/internal/cost"
+	"lqo/internal/data"
+	"lqo/internal/plan"
+	"lqo/internal/query"
+)
+
+// CardEstimator supplies cardinality estimates for logical (sub-)queries.
+// Both the traditional histogram estimator and every learned estimator in
+// internal/cardest satisfy it.
+type CardEstimator interface {
+	Estimate(q *query.Query) float64
+}
+
+// Optimizer plans SPJ queries over a catalog.
+type Optimizer struct {
+	Cat   *data.Catalog
+	Cost  *cost.Model
+	Est   CardEstimator
+	Hints plan.HintSet
+
+	// MaxDPTables bounds exhaustive DP; larger queries use greedy join
+	// ordering. 0 means the default of 12.
+	MaxDPTables int
+
+	// LeftDeepOnly restricts DP to left-deep trees (System R's original
+	// space); the default explores bushy plans. E8 quantifies the
+	// difference in plan quality and enumeration effort.
+	LeftDeepOnly bool
+
+	// PlansConsidered counts plan alternatives costed by the last
+	// Optimize call (enumeration-effort metric for E8).
+	PlansConsidered int
+}
+
+// New returns an optimizer with the given cost model and estimator.
+func New(cat *data.Catalog, cm *cost.Model, est CardEstimator) *Optimizer {
+	return &Optimizer{Cat: cat, Cost: cm, Est: est}
+}
+
+// WithHints returns a shallow copy of o steered by h.
+func (o *Optimizer) WithHints(h plan.HintSet) *Optimizer {
+	c := *o
+	c.Hints = h
+	return &c
+}
+
+// WithEstimator returns a shallow copy of o using est for cardinalities.
+func (o *Optimizer) WithEstimator(est CardEstimator) *Optimizer {
+	c := *o
+	c.Est = est
+	return &c
+}
+
+func (o *Optimizer) maxDP() int {
+	if o.MaxDPTables > 0 {
+		return o.MaxDPTables
+	}
+	return 12
+}
+
+// Optimize returns the minimum-estimated-cost plan for q: exhaustive
+// bushy DP when the query is small enough, greedy otherwise. Plan nodes
+// are annotated with EstCard and EstCost.
+func (o *Optimizer) Optimize(q *query.Query) (*plan.Node, error) {
+	if len(q.Refs) == 0 {
+		return nil, fmt.Errorf("opt: query has no tables")
+	}
+	o.PlansConsidered = 0
+	if len(q.Refs) <= o.maxDP() {
+		return o.optimizeDP(q)
+	}
+	return o.OptimizeGreedy(q)
+}
+
+// memoEntry is the best plan found for one alias subset.
+type memoEntry struct {
+	node *plan.Node
+	cost float64
+	card float64
+}
+
+type dpState struct {
+	q       *query.Query
+	g       *query.JoinGraph
+	aliases []string
+	memo    []*memoEntry // indexed by bitmask
+	cards   []float64    // estimated cardinality per bitmask (-1 unset)
+}
+
+func (o *Optimizer) optimizeDP(q *query.Query) (*plan.Node, error) {
+	n := len(q.Refs)
+	st := &dpState{
+		q:       q,
+		g:       query.NewJoinGraph(q),
+		aliases: q.Aliases(),
+		memo:    make([]*memoEntry, 1<<n),
+		cards:   make([]float64, 1<<n),
+	}
+	for i := range st.cards {
+		st.cards[i] = -1
+	}
+
+	// Base: best scan per alias.
+	for i, a := range st.aliases {
+		e, err := o.bestScan(st, i, a)
+		if err != nil {
+			return nil, err
+		}
+		st.memo[1<<i] = e
+	}
+
+	full := (1 << n) - 1
+	for mask := 1; mask <= full; mask++ {
+		if st.memo[mask] != nil || popcount(mask) < 2 {
+			continue
+		}
+		best := o.bestJoinForMask(st, mask)
+		st.memo[mask] = best
+	}
+	e := st.memo[full]
+	if e == nil || e.node == nil {
+		return nil, fmt.Errorf("opt: no plan found for %s", q.SQL())
+	}
+	return e.node, nil
+}
+
+// bestJoinForMask enumerates ordered partitions (left, right) of mask and
+// keeps the cheapest feasible join.
+func (o *Optimizer) bestJoinForMask(st *dpState, mask int) *memoEntry {
+	bestCost := math.Inf(1)
+	var bestNode *plan.Node
+	card := o.maskCard(st, mask)
+	// Iterate all proper non-empty submasks.
+	for sub := (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask {
+		other := mask ^ sub
+		if o.LeftDeepOnly && popcount(other) != 1 {
+			continue // right operand must be a base relation
+		}
+		le, re := st.memo[sub], st.memo[other]
+		if le == nil || re == nil || le.node == nil || re.node == nil {
+			continue
+		}
+		conds := st.g.JoinsBetween(o.maskSet(st, sub), o.maskSet(st, other))
+		var ops []plan.Op
+		if len(conds) == 0 {
+			// Cross product: nested loop only, and only if unavoidable
+			// (the subset pair is disconnected in the join graph).
+			ops = []plan.Op{plan.NestedLoopJoin}
+		} else {
+			for _, op := range []plan.Op{plan.HashJoin, plan.MergeJoin, plan.NestedLoopJoin} {
+				if o.Hints.AllowsJoin(op) {
+					ops = append(ops, op)
+				}
+			}
+			if len(ops) == 0 {
+				ops = []plan.Op{plan.HashJoin} // hints must not make queries unplannable
+			}
+		}
+		for _, op := range ops {
+			if len(conds) == 0 && op != plan.NestedLoopJoin {
+				continue
+			}
+			o.PlansConsidered++
+			jc := o.Cost.JoinCost(op, le.card, re.card, card)
+			total := le.cost + re.cost + jc
+			if total < bestCost {
+				node := plan.NewJoin(op, le.node, re.node, conds)
+				node.EstCard = card
+				node.EstCost = total
+				bestCost = total
+				bestNode = node
+			}
+		}
+	}
+	if bestNode == nil {
+		return &memoEntry{}
+	}
+	return &memoEntry{node: bestNode, cost: bestCost, card: card}
+}
+
+func (o *Optimizer) maskSet(st *dpState, mask int) map[string]bool {
+	s := make(map[string]bool)
+	for i, a := range st.aliases {
+		if mask&(1<<i) != 0 {
+			s[a] = true
+		}
+	}
+	return s
+}
+
+func (o *Optimizer) maskCard(st *dpState, mask int) float64 {
+	if st.cards[mask] >= 0 {
+		return st.cards[mask]
+	}
+	sub := st.q.Subquery(o.maskSet(st, mask))
+	c := o.Est.Estimate(sub)
+	if c < 0 || math.IsNaN(c) {
+		c = 0
+	}
+	st.cards[mask] = c
+	return c
+}
+
+// bestScan returns the cheapest allowed scan for the alias at index i.
+func (o *Optimizer) bestScan(st *dpState, i int, alias string) (*memoEntry, error) {
+	preds := st.q.PredsOn(alias)
+	table := st.q.TableOf(alias)
+	card := o.maskCard(st, 1<<i)
+
+	bestCost := math.Inf(1)
+	var bestNode *plan.Node
+	consider := func(op plan.Op, inRows float64, npreds int) {
+		o.PlansConsidered++
+		c := o.Cost.ScanCost(op, inRows, card, npreds)
+		if c < bestCost {
+			node := plan.NewScan(op, alias, table, preds)
+			node.EstCard = card
+			node.EstCost = c
+			bestCost = c
+			bestNode = node
+		}
+	}
+	hasIndexEq := o.indexEqColumn(table, preds) != ""
+	if o.Hints.AllowsScan(plan.SeqScan) || !hasIndexEq {
+		consider(plan.SeqScan, o.Cost.TableRows(table), len(preds))
+	}
+	if hasIndexEq && o.Hints.AllowsScan(plan.IndexScan) {
+		col := o.indexEqColumn(table, preds)
+		consider(plan.IndexScan, o.Cost.IndexFetchRows(table, col), len(preds)-1)
+	}
+	if bestNode == nil {
+		return nil, fmt.Errorf("opt: no scan allowed for %s", alias)
+	}
+	return &memoEntry{node: bestNode, cost: bestCost, card: card}, nil
+}
+
+// indexEqColumn returns the first equality-predicate column with an index
+// on table, or "".
+func (o *Optimizer) indexEqColumn(table string, preds []query.Pred) string {
+	t := o.Cat.Table(table)
+	if t == nil {
+		return ""
+	}
+	for _, p := range preds {
+		if p.Op == query.Eq && t.Index(p.Column) != nil {
+			return p.Column
+		}
+	}
+	return ""
+}
+
+// OptimizeGreedy builds a plan by repeatedly joining the pair of
+// sub-plans with the lowest resulting cost (connected pairs only, unless
+// forced). It scales to arbitrary query sizes.
+func (o *Optimizer) OptimizeGreedy(q *query.Query) (*plan.Node, error) {
+	if len(q.Refs) == 0 {
+		return nil, fmt.Errorf("opt: query has no tables")
+	}
+	o.PlansConsidered = 0
+	g := query.NewJoinGraph(q)
+	var parts []*part
+	for _, a := range q.Aliases() {
+		e, err := o.scanFor(q, a)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, &part{node: e, cost: e.EstCost, card: e.EstCard})
+	}
+	for len(parts) > 1 {
+		bestI, bestJ := -1, -1
+		bestCost := math.Inf(1)
+		var bestNode *plan.Node
+		var bestCard float64
+		for i := 0; i < len(parts); i++ {
+			for j := 0; j < len(parts); j++ {
+				if i == j {
+					continue
+				}
+				conds := g.JoinsBetween(parts[i].node.AliasSet(), parts[j].node.AliasSet())
+				if len(conds) == 0 && connectable(g, parts) {
+					continue // avoid cross joins while connected pairs remain
+				}
+				set := parts[i].node.AliasSet()
+				for a := range parts[j].node.AliasSet() {
+					set[a] = true
+				}
+				card := o.Est.Estimate(q.Subquery(set))
+				for _, op := range []plan.Op{plan.HashJoin, plan.MergeJoin, plan.NestedLoopJoin} {
+					if len(conds) == 0 && op != plan.NestedLoopJoin {
+						continue
+					}
+					if len(conds) > 0 && !o.Hints.AllowsJoin(op) {
+						continue
+					}
+					o.PlansConsidered++
+					total := parts[i].cost + parts[j].cost + o.Cost.JoinCost(op, parts[i].card, parts[j].card, card)
+					if total < bestCost {
+						bestCost = total
+						bestI, bestJ = i, j
+						bestNode = plan.NewJoin(op, parts[i].node, parts[j].node, conds)
+						bestNode.EstCard = card
+						bestNode.EstCost = total
+						bestCard = card
+					}
+				}
+			}
+		}
+		if bestNode == nil {
+			return nil, fmt.Errorf("opt: greedy failed to combine partitions")
+		}
+		merged := &part{node: bestNode, cost: bestCost, card: bestCard}
+		next := parts[:0]
+		for k, p := range parts {
+			if k != bestI && k != bestJ {
+				next = append(next, p)
+			}
+		}
+		parts = append(next, merged)
+	}
+	return parts[0].node, nil
+}
+
+func connectable(g *query.JoinGraph, parts []*part) bool {
+	for i := 0; i < len(parts); i++ {
+		for j := i + 1; j < len(parts); j++ {
+			if len(g.JoinsBetween(parts[i].node.AliasSet(), parts[j].node.AliasSet())) > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// part is a greedy-optimizer work item: a sub-plan with its running cost
+// and estimated cardinality.
+type part struct {
+	node *plan.Node
+	cost float64
+	card float64
+}
+
+// scanFor builds the cheapest allowed scan node for alias outside DP.
+func (o *Optimizer) scanFor(q *query.Query, alias string) (*plan.Node, error) {
+	preds := q.PredsOn(alias)
+	table := q.TableOf(alias)
+	card := o.Est.Estimate(q.Subquery(map[string]bool{alias: true}))
+
+	bestCost := math.Inf(1)
+	var best *plan.Node
+	consider := func(op plan.Op, inRows float64, npreds int) {
+		c := o.Cost.ScanCost(op, inRows, card, npreds)
+		if c < bestCost {
+			n := plan.NewScan(op, alias, table, preds)
+			n.EstCard = card
+			n.EstCost = c
+			bestCost = c
+			best = n
+		}
+	}
+	hasIndexEq := o.indexEqColumn(table, preds) != ""
+	if o.Hints.AllowsScan(plan.SeqScan) || !hasIndexEq {
+		consider(plan.SeqScan, o.Cost.TableRows(table), len(preds))
+	}
+	if hasIndexEq && o.Hints.AllowsScan(plan.IndexScan) {
+		col := o.indexEqColumn(table, preds)
+		consider(plan.IndexScan, o.Cost.IndexFetchRows(table, col), len(preds)-1)
+	}
+	if best == nil {
+		return nil, fmt.Errorf("opt: no scan allowed for %s", alias)
+	}
+	return best, nil
+}
+
+// PlanFromOrder builds the best left-deep plan following the given alias
+// join order, choosing scan and join operators by cost under the hint set.
+// It is the evaluation path for learned join-order policies.
+func (o *Optimizer) PlanFromOrder(q *query.Query, order []string) (*plan.Node, error) {
+	if len(order) != len(q.Refs) {
+		return nil, fmt.Errorf("opt: order covers %d of %d aliases", len(order), len(q.Refs))
+	}
+	g := query.NewJoinGraph(q)
+	root, err := o.scanFor(q, order[0])
+	if err != nil {
+		return nil, err
+	}
+	set := map[string]bool{order[0]: true}
+	cost0 := root.EstCost
+	for _, a := range order[1:] {
+		right, err := o.scanFor(q, a)
+		if err != nil {
+			return nil, err
+		}
+		set[a] = true
+		conds := g.JoinsBetween(root.AliasSet(), map[string]bool{a: true})
+		card := o.Est.Estimate(q.Subquery(set))
+		bestCost := math.Inf(1)
+		var bestNode *plan.Node
+		for _, op := range []plan.Op{plan.HashJoin, plan.MergeJoin, plan.NestedLoopJoin} {
+			if len(conds) == 0 && op != plan.NestedLoopJoin {
+				continue
+			}
+			if len(conds) > 0 && !o.Hints.AllowsJoin(op) {
+				continue
+			}
+			total := cost0 + right.EstCost + o.Cost.JoinCost(op, root.EstCard, right.EstCard, card)
+			if total < bestCost {
+				n := plan.NewJoin(op, root, right, conds)
+				n.EstCard = card
+				n.EstCost = total
+				bestCost = total
+				bestNode = n
+			}
+		}
+		if bestNode == nil {
+			return nil, fmt.Errorf("opt: no join operator allowed for order step %s", a)
+		}
+		root = bestNode
+		cost0 = bestCost
+	}
+	return root, nil
+}
+
+// CandidatePlans optimizes q once per hint set and returns the distinct
+// resulting plans (by fingerprint) — the Bao-style candidate generator.
+func (o *Optimizer) CandidatePlans(q *query.Query, hints []plan.HintSet) ([]*plan.Node, error) {
+	seen := map[string]bool{}
+	var out []*plan.Node
+	for _, h := range hints {
+		if !h.Valid() {
+			continue
+		}
+		p, err := o.WithHints(h).Optimize(q)
+		if err != nil {
+			return nil, err
+		}
+		fp := p.Fingerprint()
+		if !seen[fp] {
+			seen[fp] = true
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].EstCost < out[j].EstCost })
+	return out, nil
+}
+
+func popcount(x int) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}

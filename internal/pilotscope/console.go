@@ -1,0 +1,232 @@
+package pilotscope
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"lqo/internal/query"
+	"lqo/internal/sqlx"
+)
+
+// InjectionType declares which database component a driver replaces.
+type InjectionType int
+
+// Injection points.
+const (
+	// InjectCardinalities: the driver supplies sub-query cardinalities
+	// consumed by the native optimizer.
+	InjectCardinalities InjectionType = iota
+	// InjectPlan: the driver supplies (or steers toward) the full plan.
+	InjectPlan
+)
+
+// String names the injection point.
+func (t InjectionType) String() string {
+	switch t {
+	case InjectCardinalities:
+		return "cardinalities"
+	case InjectPlan:
+		return "plan"
+	default:
+		return fmt.Sprintf("InjectionType(%d)", int(t))
+	}
+}
+
+// InitContext is handed to Driver.Init: the interactor plus the training
+// workload the database user registered for the task.
+type InitContext struct {
+	DB       DB
+	Workload []string // SQL statements
+	Seed     int64
+}
+
+// Driver packages one AI4DB task, mirroring the paper's programming model:
+// Init prepares and trains (collecting data through pull operators), and
+// Algo is invoked per query to steer the database through push operators.
+type Driver interface {
+	// Name identifies the driver.
+	Name() string
+	// Injection declares the component the driver replaces.
+	Injection() InjectionType
+	// Init collects training data and fits the driver's models.
+	Init(ctx *InitContext) error
+	// Algo steers the session for sess.Query via push/pull operators.
+	Algo(sess *Session) error
+}
+
+// Updater is optionally implemented by drivers whose models track
+// database changes; the console's background updater calls it.
+type Updater interface {
+	Update(ctx *InitContext) error
+}
+
+// Console operates the whole middleware: it manages drivers, creates a
+// session per interaction, and makes driver execution transparent to the
+// database user — ExecuteSQL looks exactly like talking to the database.
+type Console struct {
+	db       DB
+	mu       sync.Mutex
+	drivers  map[string]Driver
+	active   Driver
+	workload []string
+	seed     int64
+	// Overhead counters for E7.
+	QueriesServed  int
+	DriverFailures int
+}
+
+// NewConsole returns a console over the interactor.
+func NewConsole(db DB, seed int64) *Console {
+	return &Console{db: db, drivers: map[string]Driver{}, seed: seed}
+}
+
+// RegisterDriver adds a driver to the console.
+func (c *Console) RegisterDriver(d Driver) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.drivers[d.Name()] = d
+}
+
+// Drivers lists registered driver names.
+func (c *Console) Drivers() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []string
+	for n := range c.drivers {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SetWorkload registers the training workload drivers may learn from.
+func (c *Console) SetWorkload(sqls []string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.workload = append([]string(nil), sqls...)
+}
+
+// StartTask initializes and activates the named driver. Passing "" (or
+// StopTask) deactivates — the database runs natively.
+func (c *Console) StartTask(name string) error {
+	if name == "" {
+		return c.StopTask()
+	}
+	c.mu.Lock()
+	d, ok := c.drivers[name]
+	workload := append([]string(nil), c.workload...)
+	seed := c.seed
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("pilotscope: no driver %q", name)
+	}
+	if err := d.Init(&InitContext{DB: c.db, Workload: workload, Seed: seed}); err != nil {
+		return fmt.Errorf("pilotscope: init %s: %w", name, err)
+	}
+	c.mu.Lock()
+	c.active = d
+	c.mu.Unlock()
+	return nil
+}
+
+// StopTask deactivates the current driver.
+func (c *Console) StopTask() error {
+	c.mu.Lock()
+	c.active = nil
+	c.mu.Unlock()
+	return nil
+}
+
+// ActiveDriver returns the active driver's name, or "".
+func (c *Console) ActiveDriver() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.active == nil {
+		return ""
+	}
+	return c.active.Name()
+}
+
+// ExecuteSQL is the database user's entry point: the active driver (if
+// any) is consulted transparently; on driver failure the query still runs
+// natively — the middleware never breaks the database.
+func (c *Console) ExecuteSQL(sql string) (*Result, error) {
+	c.mu.Lock()
+	d := c.active
+	c.QueriesServed++
+	c.mu.Unlock()
+
+	sess := &Session{}
+	if d != nil {
+		if eng, ok := c.db.(*Engine); ok {
+			q, err := sqlx.Parse(sql, eng.Cat)
+			if err != nil {
+				return nil, err
+			}
+			sess.Query = q
+			if err := d.Algo(sess); err != nil {
+				c.mu.Lock()
+				c.DriverFailures++
+				c.mu.Unlock()
+				sess.Reset()
+			}
+			return c.db.ExecuteQuery(sess, q)
+		}
+	}
+	return c.db.ExecuteSQL(sess, sql)
+}
+
+// ExecuteQuery is ExecuteSQL for pre-parsed queries.
+func (c *Console) ExecuteQuery(q *query.Query) (*Result, error) {
+	c.mu.Lock()
+	d := c.active
+	c.QueriesServed++
+	c.mu.Unlock()
+
+	sess := &Session{Query: q}
+	if d != nil {
+		if err := d.Algo(sess); err != nil {
+			c.mu.Lock()
+			c.DriverFailures++
+			c.mu.Unlock()
+			sess.Reset()
+		}
+	}
+	return c.db.ExecuteQuery(sess, q)
+}
+
+// UpdateModels synchronously triggers the active driver's model update if
+// it implements Updater (the paper runs this in the background; the
+// workbench exposes a deterministic trigger plus StartBackgroundUpdater).
+func (c *Console) UpdateModels() error {
+	c.mu.Lock()
+	d := c.active
+	workload := append([]string(nil), c.workload...)
+	seed := c.seed
+	c.mu.Unlock()
+	if d == nil {
+		return nil
+	}
+	u, ok := d.(Updater)
+	if !ok {
+		return nil
+	}
+	return u.Update(&InitContext{DB: c.db, Workload: workload, Seed: seed})
+}
+
+// StartBackgroundUpdater launches a goroutine that calls UpdateModels
+// every time a value arrives on trigger, stopping when it closes. It
+// returns a done channel.
+func (c *Console) StartBackgroundUpdater(trigger <-chan struct{}) <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range trigger {
+			// Errors are swallowed by design: background staleness must
+			// never take the database down.
+			_ = c.UpdateModels()
+		}
+	}()
+	return done
+}

@@ -1,0 +1,286 @@
+// Package pilotscope implements the AI4DB middleware of the tutorial's
+// Section 3 (PilotScope [80]): a console managing drivers, a DB-interactor
+// interface with push/pull operators that shields drivers from engine
+// details, per-interaction sessions, and reference drivers for a learned
+// cardinality estimator and the Bao/Lero end-to-end optimizers — the same
+// sample applications the tutorial demonstrates.
+package pilotscope
+
+import (
+	"fmt"
+
+	"lqo/internal/cardest"
+	"lqo/internal/cost"
+	"lqo/internal/data"
+	"lqo/internal/exec"
+	"lqo/internal/opt"
+	"lqo/internal/plan"
+	"lqo/internal/query"
+	"lqo/internal/sqlx"
+	"lqo/internal/stats"
+)
+
+// PushKind enumerates the actions a driver can enforce on the database
+// through a session.
+type PushKind int
+
+// Push operators.
+const (
+	// PushHints steers the optimizer with a plan.HintSet payload.
+	PushHints PushKind = iota
+	// PushCardScale multiplies sub-query cardinality estimates by
+	// factor^(tables−1); payload float64 (the Lero knob).
+	PushCardScale
+	// PushCards injects exact sub-query cardinalities; payload
+	// map[string]float64 keyed by query.Query.Key().
+	PushCards
+	// PushPlan forces a complete physical plan; payload *plan.Node.
+	PushPlan
+	// PushIndex builds an equality index; payload IndexSpec. Unlike the
+	// other pushes this changes durable database state, not the session.
+	PushIndex
+)
+
+// PullKind enumerates the data a driver can acquire from the database.
+type PullKind int
+
+// Pull operators.
+const (
+	// PullStats returns *stats.CatalogStats.
+	PullStats PullKind = iota
+	// PullCatalog returns *data.Catalog.
+	PullCatalog
+	// PullTrueCard executes the payload *query.Query and returns float64.
+	PullTrueCard
+	// PullPlan optimizes the payload *query.Query under the session's
+	// pushed state and returns *plan.Node without executing.
+	PullPlan
+	// PullSubqueries returns the payload *query.Query's connected
+	// sub-queries as []*query.Query.
+	PullSubqueries
+)
+
+// Result is what a database user gets back from ExecuteSQL.
+type Result struct {
+	Count   int64   // result cardinality
+	Value   float64 // the query's aggregate (equals Count for COUNT(*))
+	Latency float64 // deterministic work units
+	Plan    *plan.Node
+}
+
+// Session is one interaction between an AI4DB algorithm and the database:
+// it accumulates pushed state that the next execution honors.
+type Session struct {
+	// Query is the logical query the driver is being consulted for.
+	Query *query.Query
+
+	hints     *plan.HintSet
+	cardScale float64
+	cards     map[string]float64
+	forced    *plan.Node
+}
+
+// Reset clears all pushed state.
+func (s *Session) Reset() {
+	s.hints = nil
+	s.cardScale = 0
+	s.cards = nil
+	s.forced = nil
+}
+
+// DB is the interactor interface: the unified bridge drivers use to steer
+// any database. The workbench ships the engine implementation; a real
+// deployment would implement the same interface as lightweight patches on
+// PostgreSQL et al.
+type DB interface {
+	// Push enforces an action on the session.
+	Push(sess *Session, kind PushKind, payload any) error
+	// Pull acquires data from the database.
+	Pull(sess *Session, kind PullKind, payload any) (any, error)
+	// ExecuteSQL parses, optimizes (honoring the session's pushed state)
+	// and executes a SQL statement.
+	ExecuteSQL(sess *Session, sql string) (*Result, error)
+	// ExecuteQuery is ExecuteSQL for an already-parsed query.
+	ExecuteQuery(sess *Session, q *query.Query) (*Result, error)
+}
+
+// Engine is the DB-interactor implementation over the workbench engine.
+type Engine struct {
+	Cat   *data.Catalog
+	Stats *stats.CatalogStats
+	Ex    *exec.Executor
+	Opt   *opt.Optimizer
+	cache *exec.CardCache
+}
+
+// NewEngine assembles an interactor over cat with the traditional
+// histogram estimator and cost model — the "native database".
+func NewEngine(cat *data.Catalog, seed int64) (*Engine, error) {
+	cs := stats.CollectCatalog(cat, stats.Options{Seed: seed})
+	ex := exec.New(cat)
+	hist := cardest.NewHistogramEstimator()
+	if err := hist.Train(&cardest.Context{Cat: cat, Stats: cs, Seed: seed}); err != nil {
+		return nil, err
+	}
+	return &Engine{
+		Cat:   cat,
+		Stats: cs,
+		Ex:    ex,
+		Opt:   opt.New(cat, cost.New(cs), hist),
+		cache: exec.NewCardCache(ex),
+	}, nil
+}
+
+// Push implements DB.
+func (e *Engine) Push(sess *Session, kind PushKind, payload any) error {
+	switch kind {
+	case PushHints:
+		h, ok := payload.(plan.HintSet)
+		if !ok {
+			return fmt.Errorf("pilotscope: PushHints wants plan.HintSet, got %T", payload)
+		}
+		sess.hints = &h
+	case PushCardScale:
+		f, ok := payload.(float64)
+		if !ok {
+			return fmt.Errorf("pilotscope: PushCardScale wants float64, got %T", payload)
+		}
+		sess.cardScale = f
+	case PushCards:
+		m, ok := payload.(map[string]float64)
+		if !ok {
+			return fmt.Errorf("pilotscope: PushCards wants map[string]float64, got %T", payload)
+		}
+		sess.cards = m
+	case PushPlan:
+		p, ok := payload.(*plan.Node)
+		if !ok {
+			return fmt.Errorf("pilotscope: PushPlan wants *plan.Node, got %T", payload)
+		}
+		sess.forced = p
+	case PushIndex:
+		spec, ok := payload.(IndexSpec)
+		if !ok {
+			return fmt.Errorf("pilotscope: PushIndex wants IndexSpec, got %T", payload)
+		}
+		t := e.Cat.Table(spec.Table)
+		if t == nil {
+			return fmt.Errorf("pilotscope: PushIndex unknown table %q", spec.Table)
+		}
+		if _, err := t.BuildIndex(spec.Column); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("pilotscope: unknown push kind %d", kind)
+	}
+	return nil
+}
+
+// Pull implements DB.
+func (e *Engine) Pull(sess *Session, kind PullKind, payload any) (any, error) {
+	switch kind {
+	case PullStats:
+		return e.Stats, nil
+	case PullCatalog:
+		return e.Cat, nil
+	case PullTrueCard:
+		q, ok := payload.(*query.Query)
+		if !ok {
+			return nil, fmt.Errorf("pilotscope: PullTrueCard wants *query.Query, got %T", payload)
+		}
+		return e.cache.TrueCard(q)
+	case PullPlan:
+		q, ok := payload.(*query.Query)
+		if !ok {
+			return nil, fmt.Errorf("pilotscope: PullPlan wants *query.Query, got %T", payload)
+		}
+		return e.optimize(sess, q)
+	case PullSubqueries:
+		q, ok := payload.(*query.Query)
+		if !ok {
+			return nil, fmt.Errorf("pilotscope: PullSubqueries wants *query.Query, got %T", payload)
+		}
+		return Subqueries(q), nil
+	default:
+		return nil, fmt.Errorf("pilotscope: unknown pull kind %d", kind)
+	}
+}
+
+// Subqueries enumerates the connected sub-queries of q (all sizes).
+func Subqueries(q *query.Query) []*query.Query {
+	g := query.NewJoinGraph(q)
+	var out []*query.Query
+	for _, subset := range g.ConnectedSubsets(0) {
+		out = append(out, q.Subquery(query.SetOf(subset)))
+	}
+	return out
+}
+
+// injectedEstimator serves pushed cardinalities, falling back to the base
+// estimator (optionally scaled — the Lero knob).
+type injectedEstimator struct {
+	base  opt.CardEstimator
+	cards map[string]float64
+	scale float64
+}
+
+// Estimate implements opt.CardEstimator.
+func (ie *injectedEstimator) Estimate(q *query.Query) float64 {
+	if ie.cards != nil {
+		if c, ok := ie.cards[q.Key()]; ok {
+			return c
+		}
+	}
+	c := ie.base.Estimate(q)
+	if ie.scale > 0 && ie.scale != 1 && len(q.Refs) > 1 {
+		c *= pow(ie.scale, len(q.Refs)-1)
+	}
+	return c
+}
+
+func pow(f float64, k int) float64 {
+	out := 1.0
+	for i := 0; i < k; i++ {
+		out *= f
+	}
+	return out
+}
+
+// optimize plans q under the session's pushed state.
+func (e *Engine) optimize(sess *Session, q *query.Query) (*plan.Node, error) {
+	if sess != nil && sess.forced != nil {
+		return sess.forced, nil
+	}
+	o := e.Opt
+	if sess != nil {
+		if sess.cards != nil || (sess.cardScale > 0 && sess.cardScale != 1) {
+			o = o.WithEstimator(&injectedEstimator{base: e.Opt.Est, cards: sess.cards, scale: sess.cardScale})
+		}
+		if sess.hints != nil {
+			o = o.WithHints(*sess.hints)
+		}
+	}
+	return o.Optimize(q)
+}
+
+// ExecuteSQL implements DB.
+func (e *Engine) ExecuteSQL(sess *Session, sql string) (*Result, error) {
+	q, err := sqlx.Parse(sql, e.Cat)
+	if err != nil {
+		return nil, err
+	}
+	return e.ExecuteQuery(sess, q)
+}
+
+// ExecuteQuery implements DB.
+func (e *Engine) ExecuteQuery(sess *Session, q *query.Query) (*Result, error) {
+	p, err := e.optimize(sess, q)
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.Ex.Run(q, p)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Count: res.Count, Value: res.Value, Latency: res.Stats.WorkUnits, Plan: p}, nil
+}

@@ -1,0 +1,54 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ToDOT renders the plan as a Graphviz digraph: one box per operator with
+// its estimated/true cardinalities, edges child → parent. Useful for
+// papers, debugging and the shell's EXPLAIN output.
+func ToDOT(root *Node) string {
+	var b strings.Builder
+	b.WriteString("digraph plan {\n")
+	b.WriteString("  node [shape=box, fontname=\"monospace\"];\n")
+	id := 0
+	var rec func(n *Node) int
+	rec = func(n *Node) int {
+		me := id
+		id++
+		label := n.Op.String()
+		if n.IsLeaf() {
+			label += "\\n" + n.Alias
+			if len(n.Preds) > 0 {
+				parts := make([]string, len(n.Preds))
+				for i, p := range n.Preds {
+					parts[i] = p.String()
+				}
+				label += "\\n" + escapeDOT(strings.Join(parts, " AND "))
+			}
+		} else {
+			parts := make([]string, len(n.Cond))
+			for i, j := range n.Cond {
+				parts[i] = j.String()
+			}
+			label += "\\n" + escapeDOT(strings.Join(parts, " AND "))
+		}
+		label += fmt.Sprintf("\\nest=%.0f true=%.0f", n.EstCard, n.TrueCard)
+		fmt.Fprintf(&b, "  n%d [label=\"%s\"];\n", me, label)
+		if n.Left != nil {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", rec(n.Left), me)
+		}
+		if n.Right != nil {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", rec(n.Right), me)
+		}
+		return me
+	}
+	rec(root)
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func escapeDOT(s string) string {
+	return strings.NewReplacer("\"", "\\\"", "\n", "\\n").Replace(s)
+}

@@ -1,0 +1,270 @@
+// Package plan defines physical plan trees — the artifact every optimizer
+// in the workbench produces and every learned cost model consumes — plus
+// hint sets (Bao-style steering knobs) and canonical plan hashing.
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lqo/internal/query"
+)
+
+// Op is a physical operator kind.
+type Op int
+
+// Physical operators. Scans sit at leaves; joins are binary inner nodes.
+const (
+	SeqScan Op = iota
+	IndexScan
+	NestedLoopJoin
+	HashJoin
+	MergeJoin
+)
+
+// String returns the display name of the operator.
+func (op Op) String() string {
+	switch op {
+	case SeqScan:
+		return "SeqScan"
+	case IndexScan:
+		return "IndexScan"
+	case NestedLoopJoin:
+		return "NestedLoopJoin"
+	case HashJoin:
+		return "HashJoin"
+	case MergeJoin:
+		return "MergeJoin"
+	default:
+		return fmt.Sprintf("Op(%d)", int(op))
+	}
+}
+
+// IsJoin reports whether the operator is a join.
+func (op Op) IsJoin() bool {
+	return op == NestedLoopJoin || op == HashJoin || op == MergeJoin
+}
+
+// Node is a physical plan node. Scan leaves carry the alias, base table and
+// pushed-down predicates; join nodes carry the equi-join conditions applied
+// at that level and two children.
+//
+// EstCard/EstCost are annotations filled by whichever cardinality estimator
+// and cost model optimized the plan; TrueCard is filled by execution.
+type Node struct {
+	Op    Op
+	Alias string       // scans only
+	Table string       // scans only: base table name
+	Preds []query.Pred // scans: pushed-down filters
+	Cond  []query.Join // joins: equi-join conditions at this node
+	Left  *Node
+	Right *Node
+
+	EstCard  float64
+	EstCost  float64
+	TrueCard float64
+}
+
+// NewScan returns a scan leaf over alias (bound to table) with pushed-down
+// predicates.
+func NewScan(op Op, alias, table string, preds []query.Pred) *Node {
+	return &Node{Op: op, Alias: alias, Table: table, Preds: preds}
+}
+
+// NewJoin returns a join node combining left and right under cond.
+func NewJoin(op Op, left, right *Node, cond []query.Join) *Node {
+	return &Node{Op: op, Left: left, Right: right, Cond: cond}
+}
+
+// IsLeaf reports whether the node is a scan.
+func (n *Node) IsLeaf() bool { return n.Left == nil && n.Right == nil }
+
+// Aliases returns the sorted aliases covered by the subtree.
+func (n *Node) Aliases() []string {
+	var out []string
+	n.Walk(func(m *Node) {
+		if m.IsLeaf() {
+			out = append(out, m.Alias)
+		}
+	})
+	sort.Strings(out)
+	return out
+}
+
+// AliasSet returns the subtree's aliases as a set.
+func (n *Node) AliasSet() map[string]bool {
+	return query.SetOf(n.Aliases())
+}
+
+// Walk visits the subtree pre-order.
+func (n *Node) Walk(fn func(*Node)) {
+	if n == nil {
+		return
+	}
+	fn(n)
+	n.Left.Walk(fn)
+	n.Right.Walk(fn)
+}
+
+// Nodes returns all nodes of the subtree in pre-order.
+func (n *Node) Nodes() []*Node {
+	var out []*Node
+	n.Walk(func(m *Node) { out = append(out, m) })
+	return out
+}
+
+// NumJoins returns the number of join nodes in the subtree.
+func (n *Node) NumJoins() int {
+	k := 0
+	n.Walk(func(m *Node) {
+		if m.Op.IsJoin() {
+			k++
+		}
+	})
+	return k
+}
+
+// Clone deep-copies the subtree, preserving annotations.
+func (n *Node) Clone() *Node {
+	if n == nil {
+		return nil
+	}
+	c := *n
+	c.Preds = append([]query.Pred(nil), n.Preds...)
+	c.Cond = append([]query.Join(nil), n.Cond...)
+	c.Left = n.Left.Clone()
+	c.Right = n.Right.Clone()
+	return &c
+}
+
+// Fingerprint returns a canonical string for the physical plan: operator
+// tree shape with scan targets and join conditions. Predicate values are
+// included so that plans for different queries never collide. Join-operand
+// order is preserved (NL join cost is asymmetric).
+func (n *Node) Fingerprint() string {
+	var b strings.Builder
+	n.fingerprint(&b)
+	return b.String()
+}
+
+func (n *Node) fingerprint(b *strings.Builder) {
+	if n == nil {
+		return
+	}
+	if n.IsLeaf() {
+		b.WriteString(n.Op.String())
+		b.WriteString("(")
+		b.WriteString(n.Alias)
+		for _, p := range n.Preds {
+			b.WriteString(";")
+			b.WriteString(p.String())
+		}
+		b.WriteString(")")
+		return
+	}
+	b.WriteString(n.Op.String())
+	b.WriteString("[")
+	for i, j := range n.Cond {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		b.WriteString(j.String())
+	}
+	b.WriteString("](")
+	n.Left.fingerprint(b)
+	b.WriteString(",")
+	n.Right.fingerprint(b)
+	b.WriteString(")")
+}
+
+// StructureKey is Fingerprint without predicate literals: it identifies the
+// join-order + operator shape. Eraser's coarse filter groups plans by it.
+func (n *Node) StructureKey() string {
+	var b strings.Builder
+	n.structureKey(&b)
+	return b.String()
+}
+
+func (n *Node) structureKey(b *strings.Builder) {
+	if n == nil {
+		return
+	}
+	if n.IsLeaf() {
+		b.WriteString(n.Op.String())
+		b.WriteString("(")
+		b.WriteString(n.Alias)
+		b.WriteString(")")
+		return
+	}
+	b.WriteString(n.Op.String())
+	b.WriteString("(")
+	n.Left.structureKey(b)
+	b.WriteString(",")
+	n.Right.structureKey(b)
+	b.WriteString(")")
+}
+
+// String renders an indented plan tree with annotations.
+func (n *Node) String() string {
+	var b strings.Builder
+	n.render(&b, 0)
+	return b.String()
+}
+
+func (n *Node) render(b *strings.Builder, depth int) {
+	if n == nil {
+		return
+	}
+	b.WriteString(strings.Repeat("  ", depth))
+	if n.IsLeaf() {
+		fmt.Fprintf(b, "%s %s", n.Op, n.Alias)
+		if n.Table != n.Alias && n.Table != "" {
+			fmt.Fprintf(b, " (%s)", n.Table)
+		}
+		if len(n.Preds) > 0 {
+			strs := make([]string, len(n.Preds))
+			for i, p := range n.Preds {
+				strs[i] = p.String()
+			}
+			fmt.Fprintf(b, " filter: %s", strings.Join(strs, " AND "))
+		}
+	} else {
+		strs := make([]string, len(n.Cond))
+		for i, j := range n.Cond {
+			strs[i] = j.String()
+		}
+		fmt.Fprintf(b, "%s on %s", n.Op, strings.Join(strs, " AND "))
+	}
+	if n.EstCard > 0 || n.TrueCard > 0 {
+		fmt.Fprintf(b, "  [est=%.0f true=%.0f cost=%.1f]", n.EstCard, n.TrueCard, n.EstCost)
+	}
+	b.WriteString("\n")
+	n.Left.render(b, depth+1)
+	n.Right.render(b, depth+1)
+}
+
+// Subquery reconstructs the logical sub-query computed by the subtree of q.
+func (n *Node) Subquery(q *query.Query) *query.Query {
+	return q.Subquery(n.AliasSet())
+}
+
+// JoinOrder returns the leaf aliases in left-to-right plan order — the
+// linearized join order, used as RL episode output.
+func (n *Node) JoinOrder() []string {
+	var out []string
+	var rec func(m *Node)
+	rec = func(m *Node) {
+		if m == nil {
+			return
+		}
+		if m.IsLeaf() {
+			out = append(out, m.Alias)
+			return
+		}
+		rec(m.Left)
+		rec(m.Right)
+	}
+	rec(n)
+	return out
+}

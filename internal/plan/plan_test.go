@@ -1,0 +1,169 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"lqo/internal/data"
+	"lqo/internal/query"
+)
+
+func samplePlan() *Node {
+	j := query.Join{LeftAlias: "a", LeftCol: "id", RightAlias: "b", RightCol: "a_id"}
+	p := query.Pred{Alias: "a", Column: "v", Op: query.Gt, Val: data.IntVal(3)}
+	left := NewScan(SeqScan, "a", "a", []query.Pred{p})
+	right := NewScan(IndexScan, "b", "b", nil)
+	return NewJoin(HashJoin, left, right, []query.Join{j})
+}
+
+func TestAliasesAndWalk(t *testing.T) {
+	p := samplePlan()
+	al := p.Aliases()
+	if len(al) != 2 || al[0] != "a" || al[1] != "b" {
+		t.Fatalf("Aliases = %v", al)
+	}
+	if p.NumJoins() != 1 {
+		t.Fatalf("NumJoins = %d", p.NumJoins())
+	}
+	if len(p.Nodes()) != 3 {
+		t.Fatalf("Nodes = %d", len(p.Nodes()))
+	}
+	if !p.Left.IsLeaf() || p.IsLeaf() {
+		t.Fatal("leaf detection broken")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := samplePlan()
+	c := p.Clone()
+	c.Left.Preds[0].Column = "zzz"
+	c.Op = MergeJoin
+	if p.Left.Preds[0].Column != "v" || p.Op != HashJoin {
+		t.Fatal("Clone shares state")
+	}
+	if c.Fingerprint() == p.Fingerprint() {
+		t.Fatal("modified clone should differ")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	p1 := samplePlan()
+	p2 := samplePlan()
+	if p1.Fingerprint() != p2.Fingerprint() {
+		t.Fatal("identical plans should share a fingerprint")
+	}
+	// Operator change.
+	p2.Op = MergeJoin
+	if p1.Fingerprint() == p2.Fingerprint() {
+		t.Fatal("join operator not in fingerprint")
+	}
+	// Operand order matters (NL cost asymmetric).
+	p3 := samplePlan()
+	p3.Left, p3.Right = p3.Right, p3.Left
+	if p1.Fingerprint() == p3.Fingerprint() {
+		t.Fatal("operand order not in fingerprint")
+	}
+	// Predicate literal change.
+	p4 := samplePlan()
+	p4.Left.Preds[0].Val = data.IntVal(4)
+	if p1.Fingerprint() == p4.Fingerprint() {
+		t.Fatal("predicate literal not in fingerprint")
+	}
+}
+
+func TestStructureKeyIgnoresLiterals(t *testing.T) {
+	p1 := samplePlan()
+	p2 := samplePlan()
+	p2.Left.Preds[0].Val = data.IntVal(99)
+	if p1.StructureKey() != p2.StructureKey() {
+		t.Fatal("StructureKey should ignore literals")
+	}
+	p3 := samplePlan()
+	p3.Op = NestedLoopJoin
+	if p1.StructureKey() == p3.StructureKey() {
+		t.Fatal("StructureKey should see operators")
+	}
+}
+
+func TestJoinOrder(t *testing.T) {
+	p := samplePlan()
+	order := p.JoinOrder()
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Fatalf("JoinOrder = %v", order)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	p := samplePlan()
+	p.EstCard = 10
+	s := p.String()
+	for _, frag := range []string{"HashJoin", "SeqScan a", "IndexScan b", "a.v > 3"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("plan rendering missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestHintSets(t *testing.T) {
+	var h HintSet
+	if !h.Valid() || h.String() != "default" {
+		t.Fatal("zero hint set should be valid default")
+	}
+	h.NoHashJoin = true
+	if h.AllowsJoin(HashJoin) || !h.AllowsJoin(MergeJoin) {
+		t.Fatal("AllowsJoin wrong")
+	}
+	if !strings.Contains(h.String(), "hashjoin") {
+		t.Fatalf("String = %s", h.String())
+	}
+	all := HintSet{NoHashJoin: true, NoMergeJoin: true, NoNestedLoop: true}
+	if all.Valid() {
+		t.Fatal("no joins left should be invalid")
+	}
+	scans := HintSet{NoSeqScan: true, NoIndexScan: true}
+	if scans.Valid() {
+		t.Fatal("no scans left should be invalid")
+	}
+	for _, hs := range BaoHintSets() {
+		if !hs.Valid() {
+			t.Fatalf("Bao hint set %s invalid", hs)
+		}
+	}
+	if len(BaoHintSets()) < 5 {
+		t.Fatal("Bao arm set too small")
+	}
+}
+
+func TestSubqueryProjection(t *testing.T) {
+	q := &query.Query{
+		Refs: []query.TableRef{{Alias: "a", Table: "a"}, {Alias: "b", Table: "b"}},
+		Joins: []query.Join{
+			{LeftAlias: "a", LeftCol: "id", RightAlias: "b", RightCol: "a_id"},
+		},
+		Preds: []query.Pred{{Alias: "a", Column: "v", Op: query.Gt, Val: data.IntVal(3)}},
+	}
+	p := samplePlan()
+	sub := p.Left.Subquery(q)
+	if len(sub.Refs) != 1 || sub.Refs[0].Alias != "a" || len(sub.Preds) != 1 {
+		t.Fatalf("scan subquery = %+v", sub)
+	}
+	whole := p.Subquery(q)
+	if len(whole.Joins) != 1 {
+		t.Fatalf("root subquery lost join")
+	}
+}
+
+func TestToDOT(t *testing.T) {
+	p := samplePlan()
+	p.EstCard = 42
+	dot := ToDOT(p)
+	for _, frag := range []string{"digraph plan", "HashJoin", "SeqScan", "IndexScan", "est=42", "->"} {
+		if !strings.Contains(dot, frag) {
+			t.Errorf("DOT missing %q:\n%s", frag, dot)
+		}
+	}
+	// Two edges for one join of two scans.
+	if strings.Count(dot, "->") != 2 {
+		t.Fatalf("edge count = %d", strings.Count(dot, "->"))
+	}
+}

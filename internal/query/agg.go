@@ -1,0 +1,50 @@
+package query
+
+import "fmt"
+
+// AggKind is the aggregate computed by a query. The workbench's unit of
+// interest is COUNT(*) (cardinality), but the engine also evaluates the
+// other standard aggregates over a column of the join result.
+type AggKind int
+
+// Supported aggregates.
+const (
+	AggCount AggKind = iota
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// String returns the SQL spelling.
+func (k AggKind) String() string {
+	switch k {
+	case AggCount:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggAvg:
+		return "AVG"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	default:
+		return fmt.Sprintf("AggKind(%d)", int(k))
+	}
+}
+
+// Agg describes the query's aggregate target. The zero value is COUNT(*).
+type Agg struct {
+	Kind   AggKind
+	Alias  string // empty for COUNT(*)
+	Column string
+}
+
+// String renders the aggregate expression.
+func (a Agg) String() string {
+	if a.Kind == AggCount {
+		return "COUNT(*)"
+	}
+	return fmt.Sprintf("%s(%s.%s)", a.Kind, a.Alias, a.Column)
+}

@@ -1,0 +1,230 @@
+package query
+
+import "sort"
+
+// JoinGraph is the undirected graph whose vertices are query aliases and
+// whose edges are equi-join conditions. Plan enumerators and sub-query
+// generators operate on it.
+type JoinGraph struct {
+	Aliases []string
+	adj     map[string][]Join
+}
+
+// NewJoinGraph builds the join graph of q.
+func NewJoinGraph(q *Query) *JoinGraph {
+	g := &JoinGraph{Aliases: q.Aliases(), adj: make(map[string][]Join)}
+	for _, j := range q.Joins {
+		g.adj[j.LeftAlias] = append(g.adj[j.LeftAlias], j)
+		g.adj[j.RightAlias] = append(g.adj[j.RightAlias], j)
+	}
+	return g
+}
+
+// Edges returns the join edges incident to alias.
+func (g *JoinGraph) Edges(alias string) []Join { return g.adj[alias] }
+
+// Neighbors returns the sorted distinct neighbor aliases of alias.
+func (g *JoinGraph) Neighbors(alias string) []string {
+	seen := map[string]bool{}
+	for _, j := range g.adj[alias] {
+		o := j.Other(alias)
+		if o != "" {
+			seen[o] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for a := range seen {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Connected reports whether the alias subset induces a connected subgraph.
+// Singleton sets are connected; the empty set is not.
+func (g *JoinGraph) Connected(set map[string]bool) bool {
+	if len(set) == 0 {
+		return false
+	}
+	var start string
+	for a := range set {
+		start = a
+		break
+	}
+	seen := map[string]bool{start: true}
+	stack := []string{start}
+	for len(stack) > 0 {
+		a := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, j := range g.adj[a] {
+			o := j.Other(a)
+			if o != "" && set[o] && !seen[o] {
+				seen[o] = true
+				stack = append(stack, o)
+			}
+		}
+	}
+	return len(seen) == len(set)
+}
+
+// ConnectsTo reports whether any join edge links alias to a member of set.
+func (g *JoinGraph) ConnectsTo(alias string, set map[string]bool) bool {
+	for _, j := range g.adj[alias] {
+		if o := j.Other(alias); o != "" && set[o] {
+			return true
+		}
+	}
+	return false
+}
+
+// JoinsBetween returns the join edges with one side in left and the other
+// in right.
+func (g *JoinGraph) JoinsBetween(left, right map[string]bool) []Join {
+	var out []Join
+	seen := map[string]bool{}
+	for a := range left {
+		for _, j := range g.adj[a] {
+			o := j.Other(a)
+			if o == "" || !right[o] {
+				continue
+			}
+			k := j.String()
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, j)
+			}
+		}
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].String() < out[k].String() })
+	return out
+}
+
+// ConnectedSubsets enumerates all connected alias subsets of size 1..maxSize
+// (0 means no limit). Each subset is returned as a sorted slice. The
+// enumeration order is deterministic.
+func (g *JoinGraph) ConnectedSubsets(maxSize int) [][]string {
+	n := len(g.Aliases)
+	if maxSize <= 0 || maxSize > n {
+		maxSize = n
+	}
+	var out [][]string
+	if n > 20 {
+		// Bitmask enumeration is infeasible; grow subsets by BFS expansion.
+		return g.connectedSubsetsLarge(maxSize)
+	}
+	idx := make(map[string]int, n)
+	for i, a := range g.Aliases {
+		idx[a] = i
+	}
+	for mask := 1; mask < 1<<n; mask++ {
+		size := popcount(uint(mask))
+		if size > maxSize {
+			continue
+		}
+		set := make(map[string]bool, size)
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				set[g.Aliases[i]] = true
+			}
+		}
+		if !g.Connected(set) {
+			continue
+		}
+		sub := make([]string, 0, size)
+		for a := range set {
+			sub = append(sub, a)
+		}
+		sort.Strings(sub)
+		out = append(out, sub)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) < len(out[j])
+		}
+		return joinKey(out[i]) < joinKey(out[j])
+	})
+	return out
+}
+
+func (g *JoinGraph) connectedSubsetsLarge(maxSize int) [][]string {
+	seen := map[string]bool{}
+	var out [][]string
+	frontier := make([]map[string]bool, 0, len(g.Aliases))
+	for _, a := range g.Aliases {
+		s := map[string]bool{a: true}
+		frontier = append(frontier, s)
+		out = append(out, []string{a})
+		seen[a] = true
+	}
+	for size := 2; size <= maxSize; size++ {
+		var next []map[string]bool
+		for _, s := range frontier {
+			for a := range s {
+				for _, nb := range g.Neighbors(a) {
+					if s[nb] {
+						continue
+					}
+					grown := make(map[string]bool, len(s)+1)
+					for k := range s {
+						grown[k] = true
+					}
+					grown[nb] = true
+					lst := setToSorted(grown)
+					k := joinKey(lst)
+					if seen[k] {
+						continue
+					}
+					seen[k] = true
+					next = append(next, grown)
+					out = append(out, lst)
+				}
+			}
+		}
+		frontier = next
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) < len(out[j])
+		}
+		return joinKey(out[i]) < joinKey(out[j])
+	})
+	return out
+}
+
+func setToSorted(s map[string]bool) []string {
+	out := make([]string, 0, len(s))
+	for a := range s {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func joinKey(sorted []string) string {
+	k := ""
+	for i, s := range sorted {
+		if i > 0 {
+			k += ","
+		}
+		k += s
+	}
+	return k
+}
+
+func popcount(x uint) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// SetOf converts an alias slice into a set.
+func SetOf(aliases []string) map[string]bool {
+	s := make(map[string]bool, len(aliases))
+	for _, a := range aliases {
+		s[a] = true
+	}
+	return s
+}

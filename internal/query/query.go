@@ -1,0 +1,325 @@
+// Package query defines the logical representation of SPJ (select-project-
+// join) queries: table references, predicates, equi-join edges, and the
+// join graph with connected-subgraph enumeration used by optimizers and
+// by sub-query cardinality estimation.
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lqo/internal/data"
+)
+
+// CmpOp is a comparison operator in a predicate.
+type CmpOp int
+
+// Supported comparison operators. Between is a closed range [Val, Val2].
+const (
+	Eq CmpOp = iota
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+	Between
+)
+
+// String returns the SQL spelling of the operator.
+func (op CmpOp) String() string {
+	switch op {
+	case Eq:
+		return "="
+	case Ne:
+		return "<>"
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	case Between:
+		return "BETWEEN"
+	default:
+		return fmt.Sprintf("CmpOp(%d)", int(op))
+	}
+}
+
+// Pred is a single-column filter predicate "alias.column op value".
+type Pred struct {
+	Alias  string
+	Column string
+	Op     CmpOp
+	Val    data.Value
+	Val2   data.Value // upper bound for Between
+}
+
+// String renders the predicate in SQL.
+func (p Pred) String() string {
+	if p.Op == Between {
+		return fmt.Sprintf("%s.%s BETWEEN %s AND %s", p.Alias, p.Column, p.Val, p.Val2)
+	}
+	return fmt.Sprintf("%s.%s %s %s", p.Alias, p.Column, p.Op, p.Val)
+}
+
+// Matches reports whether the numeric value v satisfies the predicate.
+func (p Pred) Matches(v float64) bool {
+	switch p.Op {
+	case Eq:
+		return v == p.Val.AsFloat()
+	case Ne:
+		return v != p.Val.AsFloat()
+	case Lt:
+		return v < p.Val.AsFloat()
+	case Le:
+		return v <= p.Val.AsFloat()
+	case Gt:
+		return v > p.Val.AsFloat()
+	case Ge:
+		return v >= p.Val.AsFloat()
+	case Between:
+		return v >= p.Val.AsFloat() && v <= p.Val2.AsFloat()
+	default:
+		return false
+	}
+}
+
+// Bounds returns the selected numeric range [lo, hi] implied by the
+// predicate, using ±inf sentinels supplied by the caller for open sides.
+// Ne predicates select the full range (their selectivity is handled
+// separately by estimators).
+func (p Pred) Bounds(min, max float64) (lo, hi float64) {
+	v := p.Val.AsFloat()
+	switch p.Op {
+	case Eq:
+		return v, v
+	case Lt, Le:
+		return min, v
+	case Gt, Ge:
+		return v, max
+	case Between:
+		return v, p.Val2.AsFloat()
+	default:
+		return min, max
+	}
+}
+
+// Join is an equi-join edge "left.lcol = right.rcol" between two aliases.
+type Join struct {
+	LeftAlias  string
+	LeftCol    string
+	RightAlias string
+	RightCol   string
+}
+
+// String renders the join condition in SQL.
+func (j Join) String() string {
+	return fmt.Sprintf("%s.%s = %s.%s", j.LeftAlias, j.LeftCol, j.RightAlias, j.RightCol)
+}
+
+// Touches reports whether the edge references the alias.
+func (j Join) Touches(alias string) bool {
+	return j.LeftAlias == alias || j.RightAlias == alias
+}
+
+// Other returns the alias on the opposite side of the edge, or "" if the
+// edge does not touch alias.
+func (j Join) Other(alias string) string {
+	switch alias {
+	case j.LeftAlias:
+		return j.RightAlias
+	case j.RightAlias:
+		return j.LeftAlias
+	default:
+		return ""
+	}
+}
+
+// TableRef binds an alias to a base table name. Alias equals Table when no
+// explicit alias is given.
+type TableRef struct {
+	Alias string
+	Table string
+}
+
+// Query is a logical SPJ query: FROM refs, WHERE equi-joins and filters.
+// The result of interest throughout the workbench is COUNT(*) — the
+// cardinality — matching the cardinality-estimation literature.
+type Query struct {
+	Refs  []TableRef
+	Joins []Join
+	Preds []Pred
+	// Agg is the aggregate computed over the join result; the zero value
+	// is COUNT(*), the cardinality the whole workbench revolves around.
+	Agg Agg
+}
+
+// Clone returns a deep copy.
+func (q *Query) Clone() *Query {
+	c := &Query{
+		Refs:  append([]TableRef(nil), q.Refs...),
+		Joins: append([]Join(nil), q.Joins...),
+		Preds: append([]Pred(nil), q.Preds...),
+		Agg:   q.Agg,
+	}
+	return c
+}
+
+// Aliases returns the query's aliases in FROM order.
+func (q *Query) Aliases() []string {
+	out := make([]string, len(q.Refs))
+	for i, r := range q.Refs {
+		out[i] = r.Alias
+	}
+	return out
+}
+
+// TableOf returns the base table bound to the alias, or "".
+func (q *Query) TableOf(alias string) string {
+	for _, r := range q.Refs {
+		if r.Alias == alias {
+			return r.Table
+		}
+	}
+	return ""
+}
+
+// PredsOn returns the filter predicates referencing the alias.
+func (q *Query) PredsOn(alias string) []Pred {
+	var out []Pred
+	for _, p := range q.Preds {
+		if p.Alias == alias {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// SQL renders the query as a SELECT <agg> statement.
+func (q *Query) SQL() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	b.WriteString(q.Agg.String())
+	b.WriteString(" FROM ")
+	for i, r := range q.Refs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(r.Table)
+		if r.Alias != r.Table {
+			b.WriteString(" ")
+			b.WriteString(r.Alias)
+		}
+	}
+	var conds []string
+	for _, j := range q.Joins {
+		conds = append(conds, j.String())
+	}
+	for _, p := range q.Preds {
+		conds = append(conds, p.String())
+	}
+	if len(conds) > 0 {
+		b.WriteString(" WHERE ")
+		b.WriteString(strings.Join(conds, " AND "))
+	}
+	b.WriteString(";")
+	return b.String()
+}
+
+// Key returns a canonical string identifying the query's FROM/WHERE
+// content — the part that determines cardinality: sorted refs, joins and
+// predicates. Two structurally identical queries share a Key regardless
+// of clause order or aggregate target (SUM and COUNT over the same join
+// have the same cardinality).
+func (q *Query) Key() string {
+	refs := make([]string, len(q.Refs))
+	for i, r := range q.Refs {
+		refs[i] = r.Alias + ":" + r.Table
+	}
+	sort.Strings(refs)
+	joins := make([]string, len(q.Joins))
+	for i, j := range q.Joins {
+		a, b := j.LeftAlias+"."+j.LeftCol, j.RightAlias+"."+j.RightCol
+		if a > b {
+			a, b = b, a
+		}
+		joins[i] = a + "=" + b
+	}
+	sort.Strings(joins)
+	preds := make([]string, len(q.Preds))
+	for i, p := range q.Preds {
+		preds[i] = p.String()
+	}
+	sort.Strings(preds)
+	return strings.Join(refs, ",") + "|" + strings.Join(joins, ",") + "|" + strings.Join(preds, ",")
+}
+
+// Subquery projects the query onto a subset of aliases: only refs in the
+// subset, joins fully contained in it, and predicates on it are kept.
+func (q *Query) Subquery(aliases map[string]bool) *Query {
+	sub := &Query{}
+	for _, r := range q.Refs {
+		if aliases[r.Alias] {
+			sub.Refs = append(sub.Refs, r)
+		}
+	}
+	for _, j := range q.Joins {
+		if aliases[j.LeftAlias] && aliases[j.RightAlias] {
+			sub.Joins = append(sub.Joins, j)
+		}
+	}
+	for _, p := range q.Preds {
+		if aliases[p.Alias] {
+			sub.Preds = append(sub.Preds, p)
+		}
+	}
+	return sub
+}
+
+// Validate checks that every join and predicate references a declared
+// alias, and that referenced columns exist in cat.
+func (q *Query) Validate(cat *data.Catalog) error {
+	byAlias := make(map[string]string, len(q.Refs))
+	for _, r := range q.Refs {
+		if _, dup := byAlias[r.Alias]; dup {
+			return fmt.Errorf("query: duplicate alias %q", r.Alias)
+		}
+		t := cat.Table(r.Table)
+		if t == nil {
+			return fmt.Errorf("query: unknown table %q", r.Table)
+		}
+		byAlias[r.Alias] = r.Table
+	}
+	checkCol := func(alias, col string) error {
+		tn, ok := byAlias[alias]
+		if !ok {
+			return fmt.Errorf("query: unknown alias %q", alias)
+		}
+		if cat.Table(tn).Column(col) == nil {
+			return fmt.Errorf("query: unknown column %s.%s (table %s)", alias, col, tn)
+		}
+		return nil
+	}
+	for _, j := range q.Joins {
+		if err := checkCol(j.LeftAlias, j.LeftCol); err != nil {
+			return err
+		}
+		if err := checkCol(j.RightAlias, j.RightCol); err != nil {
+			return err
+		}
+	}
+	for _, p := range q.Preds {
+		if err := checkCol(p.Alias, p.Column); err != nil {
+			return err
+		}
+	}
+	if q.Agg.Kind != AggCount {
+		if err := checkCol(q.Agg.Alias, q.Agg.Column); err != nil {
+			return err
+		}
+	}
+	return nil
+}

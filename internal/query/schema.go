@@ -1,0 +1,90 @@
+package query
+
+import (
+	"sort"
+	"strings"
+
+	"lqo/internal/data"
+)
+
+// SchemaEdge is a table-level equi-join edge implied by the schema's
+// foreign-key naming convention ("x_id" → table x's "id" column).
+type SchemaEdge struct {
+	T1, C1 string
+	T2, C2 string
+}
+
+// Key returns the canonical edge identifier.
+func (e SchemaEdge) Key() string {
+	a, b := e.T1+"."+e.C1, e.T2+"."+e.C2
+	if a > b {
+		a, b = b, a
+	}
+	return a + "=" + b
+}
+
+// DeriveSchemaEdges returns the catalog's table-level join edges: declared
+// foreign keys first, then edges inferred from FK naming (every column
+// ending in "_id" joins the "id" column of the table its prefix names,
+// with plural/singular and prefix-match heuristics).
+func DeriveSchemaEdges(cat *data.Catalog) []SchemaEdge {
+	var out []SchemaEdge
+	seen := map[string]bool{}
+	for _, fk := range cat.FKs() {
+		e := SchemaEdge{T1: fk.Table, C1: fk.Column, T2: fk.RefTable, C2: fk.RefColumn}
+		if !seen[e.Key()] {
+			seen[e.Key()] = true
+			out = append(out, e)
+		}
+	}
+	for _, tn := range cat.TableNames() {
+		t := cat.Table(tn)
+		for _, c := range t.Cols {
+			if c.Name == "id" || !strings.HasSuffix(c.Name, "_id") {
+				continue
+			}
+			target := resolveFKTarget(cat, c.Name)
+			if target == "" || cat.Table(target) == nil || cat.Table(target).Column("id") == nil {
+				continue
+			}
+			e := SchemaEdge{T1: tn, C1: c.Name, T2: target, C2: "id"}
+			if !seen[e.Key()] {
+				seen[e.Key()] = true
+				out = append(out, e)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// resolveFKTarget guesses the referenced table of an FK column name.
+func resolveFKTarget(cat *data.Catalog, fkCol string) string {
+	base := strings.TrimSuffix(fkCol, "_id")
+	for _, cand := range []string{base, base + "s", base + "es"} {
+		if cat.Table(cand) != nil {
+			return cand
+		}
+	}
+	// owner_user_id → users: try each underscore-separated suffix word.
+	parts := strings.Split(base, "_")
+	for i := len(parts) - 1; i >= 0; i-- {
+		w := parts[i]
+		for _, cand := range []string{w, w + "s", w + "es"} {
+			if cat.Table(cand) != nil {
+				return cand
+			}
+		}
+	}
+	// supp_id → supplier, cust_id → customer: unique prefix match.
+	var match string
+	for _, tn := range cat.TableNames() {
+		if strings.HasPrefix(tn, base) {
+			if match != "" {
+				return "" // ambiguous
+			}
+			match = tn
+		}
+	}
+	return match
+}

@@ -1,0 +1,184 @@
+// Package sqlx implements a lexer and recursive-descent parser for the SPJ
+// SQL subset used throughout the workbench:
+//
+//	SELECT COUNT(*) FROM t1 a, t2 b
+//	WHERE a.id = b.fk AND a.x > 5 AND b.y BETWEEN 3 AND 9 AND b.s = 'abc';
+//
+// Parsed statements bind against a data.Catalog, which resolves string
+// literals to dictionary codes and validates table/column references.
+package sqlx
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokComma
+	tokDot
+	tokLParen
+	tokRParen
+	tokStar
+	tokSemi
+	tokOp // = <> != < <= > >=
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "<eof>"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == ',':
+			l.emit(tokComma, ",")
+		case c == '.':
+			l.emit(tokDot, ".")
+		case c == '(':
+			l.emit(tokLParen, "(")
+		case c == ')':
+			l.emit(tokRParen, ")")
+		case c == '*':
+			l.emit(tokStar, "*")
+		case c == ';':
+			l.emit(tokSemi, ";")
+		case c == '=':
+			l.emit(tokOp, "=")
+		case c == '<':
+			if l.peek(1) == '=' {
+				l.emit2(tokOp, "<=")
+			} else if l.peek(1) == '>' {
+				l.emit2(tokOp, "<>")
+			} else {
+				l.emit(tokOp, "<")
+			}
+		case c == '>':
+			if l.peek(1) == '=' {
+				l.emit2(tokOp, ">=")
+			} else {
+				l.emit(tokOp, ">")
+			}
+		case c == '!':
+			if l.peek(1) == '=' {
+				l.emit2(tokOp, "<>")
+			} else {
+				return nil, fmt.Errorf("sqlx: unexpected '!' at %d", l.pos)
+			}
+		case c == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case c == '-' || (c >= '0' && c <= '9'):
+			if err := l.lexNumber(); err != nil {
+				return nil, err
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			l.lexIdent()
+		default:
+			return nil, fmt.Errorf("sqlx: unexpected character %q at %d", c, l.pos)
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+	return l.toks, nil
+}
+
+func (l *lexer) peek(ahead int) byte {
+	if l.pos+ahead < len(l.src) {
+		return l.src[l.pos+ahead]
+	}
+	return 0
+}
+
+func (l *lexer) emit(k tokenKind, s string) {
+	l.toks = append(l.toks, token{kind: k, text: s, pos: l.pos})
+	l.pos++
+}
+
+func (l *lexer) emit2(k tokenKind, s string) {
+	l.toks = append(l.toks, token{kind: k, text: s, pos: l.pos})
+	l.pos += 2
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.peek(1) == '\'' { // escaped quote
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokString, text: b.String(), pos: start})
+			return nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("sqlx: unterminated string starting at %d", start)
+}
+
+func (l *lexer) lexNumber() error {
+	start := l.pos
+	if l.src[l.pos] == '-' {
+		l.pos++
+	}
+	digits := 0
+	for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+		l.pos++
+		digits++
+	}
+	if l.pos < len(l.src) && l.src[l.pos] == '.' && l.peek(1) >= '0' && l.peek(1) <= '9' {
+		l.pos++
+		for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+			l.pos++
+		}
+	}
+	if digits == 0 {
+		return fmt.Errorf("sqlx: malformed number at %d", start)
+	}
+	l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+	return nil
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) {
+		c := rune(l.src[l.pos])
+		if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' {
+			l.pos++
+			continue
+		}
+		break
+	}
+	l.toks = append(l.toks, token{kind: tokIdent, text: l.src[start:l.pos], pos: start})
+}
