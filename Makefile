@@ -1,0 +1,28 @@
+# lqo build & verification tiers.
+#
+#   make build   — compile everything
+#   make test    — tier-1: the fast correctness suite
+#   make race    — full suite under the race detector
+#   make verify  — what CI runs: build + vet + tests + race
+#   make bench   — regenerate every experiment table (E1..E9)
+
+GO ?= go
+
+.PHONY: build test vet race verify bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+verify: build vet test race
+
+bench:
+	$(GO) run ./cmd/lqo-bench -exp all

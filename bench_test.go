@@ -119,6 +119,14 @@ func BenchmarkE8Ablations(b *testing.B) {
 	}
 }
 
+func BenchmarkE9Throughput(b *testing.B) {
+	env := sharedEnv(b)
+	for i := 0; i < b.N; i++ {
+		rep, err := bench.E9Throughput(env, []int{1, 4, 8}, 0, 1)
+		report(b, rep, err)
+	}
+}
+
 // --- Micro-benchmarks for the hot paths the experiments exercise ---
 
 func BenchmarkOptimizeDP4Way(b *testing.B) {

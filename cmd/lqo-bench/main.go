@@ -7,6 +7,7 @@
 //	lqo-bench -exp all                 # every experiment, quick scale
 //	lqo-bench -exp E1,E3 -dataset job  # selected experiments
 //	lqo-bench -exp E5 -scale full      # DESIGN.md-scale run (slow)
+//	lqo-bench -exp E9 -parallel 8      # concurrent throughput, 1 vs 8 goroutines
 package main
 
 import (
@@ -21,10 +22,13 @@ import (
 
 func main() {
 	var (
-		expFlag     = flag.String("exp", "all", "comma-separated experiment ids (E1..E8) or 'all'")
+		expFlag     = flag.String("exp", "all", "comma-separated experiment ids (E1..E9) or 'all'")
 		datasetFlag = flag.String("dataset", "stats", "dataset: stats | job | tpch")
 		scaleFlag   = flag.String("scale", "quick", "scale: quick | full")
 		seedFlag    = flag.Int64("seed", 42, "master random seed")
+		parallel    = flag.Int("parallel", 8, "E9 goroutine count, compared against a serial run")
+		execWorkers = flag.Int("exec-workers", 0, "E9 intra-query executor workers per goroutine (0 = serial operators)")
+		repeatFlag  = flag.Int("repeat", 3, "E9 passes over the workload per measurement")
 	)
 	flag.Parse()
 
@@ -34,7 +38,7 @@ func main() {
 	}
 	want := map[string]bool{}
 	if *expFlag == "all" {
-		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8"} {
+		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"} {
 			want[id] = true
 		}
 	} else {
@@ -60,6 +64,13 @@ func main() {
 		{"E6", bench.E6Eraser},
 		{"E7", bench.E7PilotScope},
 		{"E8", bench.E8Ablations},
+		{"E9", func(env *bench.Env) (*bench.Report, error) {
+			gs := []int{1}
+			if *parallel > 1 {
+				gs = append(gs, *parallel)
+			}
+			return bench.E9Throughput(env, gs, *execWorkers, *repeatFlag)
+		}},
 	}
 
 	for _, r := range runners {

@@ -350,19 +350,19 @@ func E8Ablations(env *Env) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		r.AddRow("enumeration", fmt.Sprintf("dp-bushy n=%d", n), "plans", fmt.Sprintf("%d", env.Base.PlansConsidered))
+		r.AddRow("enumeration", fmt.Sprintf("dp-bushy n=%d", n), "plans", fmt.Sprintf("%d", env.Base.PlansConsidered()))
 		ld, err := leftDeep.Optimize(q)
 		if err != nil {
 			return nil, err
 		}
-		r.AddRow("enumeration", fmt.Sprintf("dp-leftdeep n=%d", n), "plans", fmt.Sprintf("%d", leftDeep.PlansConsidered))
+		r.AddRow("enumeration", fmt.Sprintf("dp-leftdeep n=%d", n), "plans", fmt.Sprintf("%d", leftDeep.PlansConsidered()))
 		if bushy.EstCost > 0 {
 			r.AddRow("plan-space", fmt.Sprintf("leftdeep/bushy n=%d", n), "cost ratio", F(ld.EstCost/bushy.EstCost))
 		}
 		if _, err := env.Base.OptimizeGreedy(q); err != nil {
 			return nil, err
 		}
-		r.AddRow("enumeration", fmt.Sprintf("greedy n=%d", n), "plans", fmt.Sprintf("%d", env.Base.PlansConsidered))
+		r.AddRow("enumeration", fmt.Sprintf("greedy n=%d", n), "plans", fmt.Sprintf("%d", env.Base.PlansConsidered()))
 	}
 	return r, nil
 }

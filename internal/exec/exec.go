@@ -80,12 +80,23 @@ func newRelation(aliases []string) *Relation {
 // Len returns the tuple count.
 func (r *Relation) Len() int { return len(r.Tuples) }
 
-// Executor runs physical plans against a catalog.
+// Executor runs physical plans against a catalog. With Workers > 1 the
+// large-fanout operators (sequential-scan filtering, hash-join probe) run
+// on a fork-join worker pool; results and charged WorkUnits are identical
+// to the serial path (see parallel.go), only wall-clock changes.
+//
+// An Executor is safe for concurrent use by multiple goroutines as long
+// as each concurrent Run gets its own plan tree (Run annotates plan
+// nodes' TrueCard in place).
 type Executor struct {
 	Cat *data.Catalog
 	// MaxIntermediate caps materialized intermediate sizes; exceeded plans
 	// fail rather than exhaust memory. 0 means the default (5M tuples).
 	MaxIntermediate int
+	// Workers is the intra-query parallelism degree. 0 or 1 means serial
+	// execution; values above 1 partition scans and hash-join probes
+	// across that many goroutines.
+	Workers int
 }
 
 // New returns an executor over cat.
@@ -204,11 +215,7 @@ func (e *Executor) evalScan(q *query.Query, n *plan.Node, st *CostStats) (*Relat
 		if err != nil {
 			return nil, err
 		}
-		for i := 0; i < nrows; i++ {
-			if matchesAll(cols, preds, i) {
-				rel.Tuples = append(rel.Tuples, []int32{int32(i)})
-			}
-		}
+		rel.Tuples = e.filterRows(nrows, cols, preds)
 	case plan.IndexScan:
 		eqIdx := -1
 		var ix *data.Index
@@ -344,8 +351,7 @@ func (e *Executor) evalJoin(q *query.Query, n *plan.Node, left, right *Relation,
 		if n.Op != plan.NestedLoopJoin {
 			return nil, fmt.Errorf("exec: %s requires at least one equi-join condition", n.Op)
 		}
-		total := left.Len() * right.Len()
-		if total > e.maxRows() {
+		if productExceeds(left.Len(), right.Len(), e.maxRows()) {
 			return nil, fmt.Errorf("exec: cross product of %d x %d exceeds intermediate cap", left.Len(), right.Len())
 		}
 		st.WorkUnits += float64(left.Len()) * float64(right.Len()) * cNLCompare
@@ -402,28 +408,24 @@ func (e *Executor) evalJoin(q *query.Query, n *plan.Node, left, right *Relation,
 		ht[h] = append(ht[h], int32(ti))
 	}
 	limit := e.maxRows()
-	for _, pt := range probe.Tuples {
-		h := compositeKey(pt, pks)
-		for _, bi := range ht[h] {
-			bt := build.Tuples[bi]
-			if !keysEqual(pt, pks, bt, bks) {
-				continue
-			}
-			var lt, rt []int32
-			if buildIsRight {
-				lt, rt = pt, bt
-			} else {
-				lt, rt = bt, pt
-			}
-			out.Tuples = append(out.Tuples, concatTuple(lt, rt))
-			if out.Len() > limit {
-				return nil, fmt.Errorf("exec: join output exceeds intermediate cap (%d)", limit)
-			}
-		}
+	tuples, capExceeded := e.probeHash(probe, build, ht, pks, bks, buildIsRight, limit)
+	if capExceeded {
+		return nil, fmt.Errorf("exec: join output exceeds intermediate cap (%d)", limit)
 	}
+	out.Tuples = tuples
 	st.TuplesJoined += int64(out.Len())
 	st.WorkUnits += float64(out.Len()) * cOutput
 	return out, nil
+}
+
+// productExceeds reports whether a·b > limit. The comparison happens in
+// float64: computing a*b in int can overflow (wrapping negative and
+// slipping past the cap guard) on 32-bit platforms or pathological
+// inputs, and even int64 wraps once both sides near 2^31.5. Relation
+// sizes are bounded by the intermediate cap (≤ millions), so the float64
+// product is exact far beyond every reachable boundary.
+func productExceeds(a, b, limit int) bool {
+	return float64(a)*float64(b) > float64(limit)
 }
 
 func concatTuple(a, b []int32) []int32 {

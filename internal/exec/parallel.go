@@ -1,0 +1,180 @@
+// Parallel execution layer: fork-join worker pools for the executor's
+// large-fanout operators (sequential-scan filtering and the hash-join
+// probe phase).
+//
+// Determinism contract. Parallelism must never change what the workbench
+// measures. Both parallel operators partition their input into contiguous
+// spans, give every worker a private output buffer, and concatenate the
+// buffers in span order — so the produced tuples are byte-for-byte
+// identical to the serial path, in the same order. WorkUnits (the latency
+// proxy) are charged analytically from input/output cardinalities before
+// and after the partitioned phase, never from per-worker progress, so the
+// measured cost of a plan is the same at any worker count. Only
+// wall-clock time changes.
+package exec
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"lqo/internal/data"
+	"lqo/internal/query"
+)
+
+// parallelMinRows is the smallest input that is worth fanning out; below
+// it the fork-join overhead dominates and the operator stays serial.
+const parallelMinRows = 2048
+
+// workers returns the effective intra-query parallelism degree.
+func (e *Executor) workers() int {
+	if e.Workers > 1 {
+		return e.Workers
+	}
+	return 1
+}
+
+// span is one contiguous input partition [lo, hi).
+type span struct{ lo, hi int }
+
+// splitSpans partitions [0, n) into at most w near-equal contiguous
+// spans. Concatenating per-span results in slice order reproduces the
+// serial iteration order exactly.
+func splitSpans(n, w int) []span {
+	if w > n {
+		w = n
+	}
+	spans := make([]span, 0, w)
+	for i := 0; i < w; i++ {
+		lo := i * n / w
+		hi := (i + 1) * n / w
+		if lo < hi {
+			spans = append(spans, span{lo, hi})
+		}
+	}
+	return spans
+}
+
+// runSpans evaluates fn over every span on its own goroutine and waits
+// for all of them — a fork-join pool sized to the span count.
+func runSpans(spans []span, fn func(i int, s span)) {
+	var wg sync.WaitGroup
+	wg.Add(len(spans))
+	for i, s := range spans {
+		go func(i int, s span) {
+			defer wg.Done()
+			fn(i, s)
+		}(i, s)
+	}
+	wg.Wait()
+}
+
+// filterRows evaluates preds over rows [0, nrows) and returns the
+// matching row ids as single-column tuples, in row order. With Workers>1
+// and a large enough table the scan is partitioned; cols are read-only
+// and shared across workers.
+func (e *Executor) filterRows(nrows int, cols []*data.Column, preds []query.Pred) [][]int32 {
+	w := e.workers()
+	if w == 1 || nrows < parallelMinRows {
+		var out [][]int32
+		for i := 0; i < nrows; i++ {
+			if matchesAll(cols, preds, i) {
+				out = append(out, []int32{int32(i)})
+			}
+		}
+		return out
+	}
+	spans := splitSpans(nrows, w)
+	bufs := make([][][]int32, len(spans))
+	runSpans(spans, func(si int, s span) {
+		var buf [][]int32
+		for i := s.lo; i < s.hi; i++ {
+			if matchesAll(cols, preds, i) {
+				buf = append(buf, []int32{int32(i)})
+			}
+		}
+		bufs[si] = buf
+	})
+	return mergeSpanBuffers(bufs)
+}
+
+// probeHash runs the probe phase of a hash join over probe.Tuples against
+// the prebuilt table ht, returning output tuples in probe order. The hash
+// table and both relations are read-only during the probe, so partitions
+// share them safely. errCapExceeded is reported exactly when the serial
+// path would report it: the total output exceeds limit.
+func (e *Executor) probeHash(probe, build *Relation, ht map[uint64][]int32, pks, bks []keyCol, buildIsRight bool, limit int) ([][]int32, bool) {
+	emit := func(pt []int32, buf [][]int32) [][]int32 {
+		h := compositeKey(pt, pks)
+		for _, bi := range ht[h] {
+			bt := build.Tuples[bi]
+			if !keysEqual(pt, pks, bt, bks) {
+				continue
+			}
+			var lt, rt []int32
+			if buildIsRight {
+				lt, rt = pt, bt
+			} else {
+				lt, rt = bt, pt
+			}
+			buf = append(buf, concatTuple(lt, rt))
+		}
+		return buf
+	}
+
+	w := e.workers()
+	if w == 1 || probe.Len() < parallelMinRows {
+		var out [][]int32
+		for _, pt := range probe.Tuples {
+			out = emit(pt, out)
+			if len(out) > limit {
+				return nil, true
+			}
+		}
+		return out, false
+	}
+
+	spans := splitSpans(probe.Len(), w)
+	bufs := make([][][]int32, len(spans))
+	var exceeded atomic.Bool
+	runSpans(spans, func(si int, s span) {
+		var buf [][]int32
+		for i := s.lo; i < s.hi; i++ {
+			buf = emit(probe.Tuples[i], buf)
+			// A single partition past the cap already implies the total is
+			// past it; bail early instead of materializing more.
+			if len(buf) > limit {
+				exceeded.Store(true)
+				return
+			}
+			if i%1024 == 0 && exceeded.Load() {
+				return
+			}
+		}
+		bufs[si] = buf
+	})
+	if exceeded.Load() {
+		return nil, true
+	}
+	total := 0
+	for _, b := range bufs {
+		total += len(b)
+	}
+	if total > limit {
+		return nil, true
+	}
+	return mergeSpanBuffers(bufs), false
+}
+
+// mergeSpanBuffers concatenates per-span output buffers in span order,
+// preserving the serial iteration order.
+func mergeSpanBuffers(bufs [][][]int32) [][]int32 {
+	total := 0
+	for _, b := range bufs {
+		total += len(b)
+	}
+	out := make([][]int32, 0, total)
+	for _, b := range bufs {
+		out = append(out, b...)
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package exec
+
+import (
+	"testing"
+)
+
+func TestSplitSpansCoverAndOrder(t *testing.T) {
+	for _, c := range []struct{ n, w int }{
+		{0, 4}, {1, 4}, {7, 3}, {2048, 8}, {2049, 8}, {100, 1}, {3, 100},
+	} {
+		spans := splitSpans(c.n, c.w)
+		next := 0
+		for _, s := range spans {
+			if s.lo != next {
+				t.Fatalf("splitSpans(%d,%d): gap or overlap at %d (got lo=%d)", c.n, c.w, next, s.lo)
+			}
+			if s.hi <= s.lo {
+				t.Fatalf("splitSpans(%d,%d): empty span %+v", c.n, c.w, s)
+			}
+			next = s.hi
+		}
+		if next != c.n {
+			t.Fatalf("splitSpans(%d,%d): covers [0,%d), want [0,%d)", c.n, c.w, next, c.n)
+		}
+		if len(spans) > c.w {
+			t.Fatalf("splitSpans(%d,%d): %d spans exceed worker count", c.n, c.w, len(spans))
+		}
+	}
+}
+
+func TestMergeSpanBuffersPreservesOrder(t *testing.T) {
+	bufs := [][][]int32{
+		{{1}, {2}},
+		nil,
+		{{3}},
+		{{4}, {5}, {6}},
+	}
+	out := mergeSpanBuffers(bufs)
+	if len(out) != 6 {
+		t.Fatalf("merged %d tuples, want 6", len(out))
+	}
+	for i, tup := range out {
+		if tup[0] != int32(i+1) {
+			t.Fatalf("position %d holds %v, want [%d]", i, tup, i+1)
+		}
+	}
+}
+
+// TestProductExceedsOverflow is the regression test for the cross-product
+// cap guard: the old code computed left.Len()*right.Len() in int, which
+// wraps negative on overflow and sails past the `> maxRows` comparison.
+func TestProductExceedsOverflow(t *testing.T) {
+	const cap32 = 5_000_000
+	cases := []struct {
+		a, b, limit int
+		want        bool
+	}{
+		{10, 10, cap32, false},
+		{cap32, 1, cap32, false},
+		{cap32, 2, cap32, true},
+		{cap32 + 1, 1, cap32, true},
+		// Pre-fix: 1<<31 * 1<<33 = 1<<64 wraps to 0 in int/int64 and the
+		// guard judged the cross product "small enough".
+		{1 << 31, 1 << 33, cap32, true},
+		// Pre-fix: this product is ~2^62.4; in 32-bit int it wraps, and
+		// even int64 arithmetic overflows for slightly larger inputs.
+		{3_037_000_500, 3_037_000_500, cap32, true},
+		{0, 1 << 62, cap32, false},
+	}
+	for _, c := range cases {
+		if got := productExceeds(c.a, c.b, c.limit); got != c.want {
+			t.Errorf("productExceeds(%d, %d, %d) = %v, want %v", c.a, c.b, c.limit, got, c.want)
+		}
+	}
+}

@@ -8,19 +8,34 @@ import (
 	"sort"
 )
 
+// MaxQError is the defined worst-case q-error. Non-finite estimates
+// (NaN, ±Inf) carry no usable information and are scored at this value;
+// finite q-errors are also capped here so a single broken estimate can
+// never push GeoMean or Summarize to NaN/Inf and poison a whole table.
+const MaxQError = 1e12
+
 // QError is the standard cardinality-estimation error metric:
-// max(est/true, true/est), with both sides floored at 1 tuple.
+// max(est/true, true/est), with both sides floored at 1 tuple. A NaN or
+// infinite estimate (or truth) scores MaxQError rather than propagating
+// the non-finite value into downstream aggregates.
 func QError(est, truth float64) float64 {
+	if math.IsNaN(est) || math.IsInf(est, 0) || math.IsNaN(truth) || math.IsInf(truth, 0) {
+		return MaxQError
+	}
 	if est < 1 {
 		est = 1
 	}
 	if truth < 1 {
 		truth = 1
 	}
+	q := truth / est
 	if est > truth {
-		return est / truth
+		q = est / truth
 	}
-	return truth / est
+	if q > MaxQError {
+		return MaxQError
+	}
+	return q
 }
 
 // Quantiles summarizes a sample at the 50th/90th/95th/99th percentiles
@@ -39,9 +54,18 @@ func Summarize(vals []float64) Quantiles {
 	s := append([]float64(nil), vals...)
 	sort.Float64s(s)
 	q := Quantiles{N: len(s), Max: s[len(s)-1]}
+	// Linear interpolation between adjacent order statistics (the R-7 /
+	// NumPy default). Truncating the rank instead biases P90/P95/P99 low
+	// on small samples — e.g. on 10 points P99 would silently report the
+	// 89th percentile.
 	at := func(p float64) float64 {
-		i := int(p * float64(len(s)-1))
-		return s[i]
+		h := p * float64(len(s)-1)
+		lo := int(h)
+		if lo >= len(s)-1 {
+			return s[len(s)-1]
+		}
+		frac := h - float64(lo)
+		return s[lo] + frac*(s[lo+1]-s[lo])
 	}
 	q.P50, q.P90, q.P95, q.P99 = at(0.50), at(0.90), at(0.95), at(0.99)
 	total := 0.0

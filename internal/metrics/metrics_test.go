@@ -36,6 +36,41 @@ func TestQErrorProperties(t *testing.T) {
 	}
 }
 
+func TestQErrorNonFinite(t *testing.T) {
+	// Regression: a NaN estimate used to fall through both comparisons and
+	// return truth/est = NaN, which then poisoned GeoMean/Summarize.
+	cases := []struct {
+		name       string
+		est, truth float64
+		want       float64
+	}{
+		{"nan est", math.NaN(), 100, MaxQError},
+		{"+inf est", math.Inf(1), 100, MaxQError},
+		{"-inf est", math.Inf(-1), 100, MaxQError},
+		{"nan truth", 100, math.NaN(), MaxQError},
+		{"inf truth", 100, math.Inf(1), MaxQError},
+		{"negative est floored", -50, 2, 2},
+		{"huge ratio capped", math.MaxFloat64, 1, MaxQError},
+	}
+	for _, c := range cases {
+		got := QError(c.est, c.truth)
+		if got != c.want {
+			t.Errorf("%s: QError(%v, %v) = %v, want %v", c.name, c.est, c.truth, got, c.want)
+		}
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Errorf("%s: QError returned non-finite %v", c.name, got)
+		}
+	}
+	// The aggregates downstream must stay finite too.
+	qerrs := []float64{QError(math.NaN(), 10), QError(5, 10), QError(math.Inf(1), 3)}
+	if g := GeoMean(qerrs); math.IsNaN(g) || math.IsInf(g, 0) {
+		t.Fatalf("GeoMean poisoned by clamped q-errors: %v", g)
+	}
+	if s := Summarize(qerrs); math.IsNaN(s.Mean) {
+		t.Fatalf("Summarize mean poisoned: %v", s.Mean)
+	}
+}
+
 func TestSummarize(t *testing.T) {
 	var vals []float64
 	for i := 1; i <= 100; i++ {
@@ -64,6 +99,41 @@ func TestSummarize(t *testing.T) {
 	}
 	if z := Summarize(nil); z.N != 0 {
 		t.Fatal("empty summarize")
+	}
+}
+
+func TestSummarizeInterpolates(t *testing.T) {
+	// Regression for the truncated-rank quantile bug: on a 10-element
+	// sample the old code computed P99 as s[int(0.99*9)] = s[8] = 9 —
+	// the 89th percentile, not the 99th. With linear interpolation
+	// between adjacent order statistics the ranks land where they should.
+	vals := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	s := Summarize(vals)
+	check := func(name string, got, want float64) {
+		t.Helper()
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	check("P50", s.P50, 5.5)   // 0.50*9 = 4.5 → midway between 5 and 6
+	check("P90", s.P90, 9.1)   // 0.90*9 = 8.1 → 9 + 0.1
+	check("P95", s.P95, 9.55)  // 0.95*9 = 8.55
+	check("P99", s.P99, 9.91)  // old code: 9 (rank truncated to 8)
+	check("Max", s.Max, 10)
+	if s.P99 <= 9 {
+		t.Fatalf("P99 = %v still shows the truncation bias", s.P99)
+	}
+
+	// Single element: every quantile is that element.
+	one := Summarize([]float64{7})
+	for name, v := range map[string]float64{"P50": one.P50, "P90": one.P90, "P99": one.P99, "Max": one.Max} {
+		if v != 7 {
+			t.Errorf("single-element %s = %v, want 7", name, v)
+		}
+	}
+	// Quantiles are monotone in p.
+	if !(s.P50 <= s.P90 && s.P90 <= s.P95 && s.P95 <= s.P99 && s.P99 <= s.Max) {
+		t.Fatalf("quantiles not monotone: %+v", s)
 	}
 }
 

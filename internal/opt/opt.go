@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"lqo/internal/cost"
 	"lqo/internal/data"
@@ -39,9 +40,12 @@ type Optimizer struct {
 	// difference in plan quality and enumeration effort.
 	LeftDeepOnly bool
 
-	// PlansConsidered counts plan alternatives costed by the last
-	// Optimize call (enumeration-effort metric for E8).
-	PlansConsidered int
+	// plansConsidered holds the plan-alternative count of the most
+	// recently completed Optimize/OptimizeGreedy call. Each call counts
+	// locally and publishes its total with one atomic store, so an
+	// optimizer shared by concurrent goroutines never races (it used to
+	// be a plain exported field mutated during enumeration).
+	plansConsidered int64
 }
 
 // New returns an optimizer with the given cost model and estimator.
@@ -63,6 +67,13 @@ func (o *Optimizer) WithEstimator(est CardEstimator) *Optimizer {
 	return &c
 }
 
+// PlansConsidered reports how many plan alternatives the most recently
+// completed Optimize/OptimizeGreedy call costed (the enumeration-effort
+// metric for E8). Safe to call concurrently with planning.
+func (o *Optimizer) PlansConsidered() int {
+	return int(atomic.LoadInt64(&o.plansConsidered))
+}
+
 func (o *Optimizer) maxDP() int {
 	if o.MaxDPTables > 0 {
 		return o.MaxDPTables
@@ -77,7 +88,6 @@ func (o *Optimizer) Optimize(q *query.Query) (*plan.Node, error) {
 	if len(q.Refs) == 0 {
 		return nil, fmt.Errorf("opt: query has no tables")
 	}
-	o.PlansConsidered = 0
 	if len(q.Refs) <= o.maxDP() {
 		return o.optimizeDP(q)
 	}
@@ -97,6 +107,7 @@ type dpState struct {
 	aliases []string
 	memo    []*memoEntry // indexed by bitmask
 	cards   []float64    // estimated cardinality per bitmask (-1 unset)
+	plans   int64        // plan alternatives costed by this call
 }
 
 func (o *Optimizer) optimizeDP(q *query.Query) (*plan.Node, error) {
@@ -111,6 +122,7 @@ func (o *Optimizer) optimizeDP(q *query.Query) (*plan.Node, error) {
 	for i := range st.cards {
 		st.cards[i] = -1
 	}
+	defer func() { atomic.StoreInt64(&o.plansConsidered, st.plans) }()
 
 	// Base: best scan per alias.
 	for i, a := range st.aliases {
@@ -172,7 +184,7 @@ func (o *Optimizer) bestJoinForMask(st *dpState, mask int) *memoEntry {
 			if len(conds) == 0 && op != plan.NestedLoopJoin {
 				continue
 			}
-			o.PlansConsidered++
+			st.plans++
 			jc := o.Cost.JoinCost(op, le.card, re.card, card)
 			total := le.cost + re.cost + jc
 			if total < bestCost {
@@ -222,7 +234,7 @@ func (o *Optimizer) bestScan(st *dpState, i int, alias string) (*memoEntry, erro
 	bestCost := math.Inf(1)
 	var bestNode *plan.Node
 	consider := func(op plan.Op, inRows float64, npreds int) {
-		o.PlansConsidered++
+		st.plans++
 		c := o.Cost.ScanCost(op, inRows, card, npreds)
 		if c < bestCost {
 			node := plan.NewScan(op, alias, table, preds)
@@ -268,7 +280,8 @@ func (o *Optimizer) OptimizeGreedy(q *query.Query) (*plan.Node, error) {
 	if len(q.Refs) == 0 {
 		return nil, fmt.Errorf("opt: query has no tables")
 	}
-	o.PlansConsidered = 0
+	var plans int64
+	defer func() { atomic.StoreInt64(&o.plansConsidered, plans) }()
 	g := query.NewJoinGraph(q)
 	var parts []*part
 	for _, a := range q.Aliases() {
@@ -304,7 +317,7 @@ func (o *Optimizer) OptimizeGreedy(q *query.Query) (*plan.Node, error) {
 					if len(conds) > 0 && !o.Hints.AllowsJoin(op) {
 						continue
 					}
-					o.PlansConsidered++
+					plans++
 					total := parts[i].cost + parts[j].cost + o.Cost.JoinCost(op, parts[i].card, parts[j].card, card)
 					if total < bestCost {
 						bestCost = total

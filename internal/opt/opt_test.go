@@ -77,7 +77,7 @@ func TestOptimizeProducesValidPlan(t *testing.T) {
 	if p.NumJoins() != 2 {
 		t.Fatalf("NumJoins = %d", p.NumJoins())
 	}
-	if f.opt.PlansConsidered == 0 {
+	if f.opt.PlansConsidered() == 0 {
 		t.Fatal("no plans considered?")
 	}
 	// The optimized plan must execute and agree with the canonical plan.
