@@ -3,12 +3,15 @@
 #   make build   — compile everything
 #   make test    — tier-1: the fast correctness suite
 #   make race    — full suite under the race detector
-#   make verify  — what CI runs: build + vet + tests + race
-#   make bench   — regenerate every experiment table (E1..E9)
+#   make fuzz    — short fuzz smoke over the SQL parser
+#   make verify  — what CI runs: build + vet + tests + race + fuzz smoke
+#   make bench   — regenerate every experiment table (E1..E10)
+#   make chaos   — E10 only: guardrail runtime under fault injection
 
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: build test vet race verify bench
+.PHONY: build test vet race fuzz verify bench chaos
 
 build:
 	$(GO) build ./...
@@ -22,7 +25,13 @@ vet:
 race:
 	$(GO) test -race ./...
 
-verify: build vet test race
+fuzz:
+	$(GO) test ./internal/sqlx/ -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME)
+
+verify: build vet test race fuzz
 
 bench:
 	$(GO) run ./cmd/lqo-bench -exp all
+
+chaos:
+	$(GO) run ./cmd/lqo-bench -chaos

@@ -1,4 +1,4 @@
-// Command lqo-bench regenerates the workbench's experiment tables E1–E8
+// Command lqo-bench regenerates the workbench's experiment tables E1–E10
 // (see DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
 // results).
 //
@@ -8,6 +8,8 @@
 //	lqo-bench -exp E1,E3 -dataset job  # selected experiments
 //	lqo-bench -exp E5 -scale full      # DESIGN.md-scale run (slow)
 //	lqo-bench -exp E9 -parallel 8      # concurrent throughput, 1 vs 8 goroutines
+//	lqo-bench -chaos                   # E10 guardrails under fault injection
+//	lqo-bench -chaos -chaos-rates 0,0.25 -chaos-timeout 2ms
 package main
 
 import (
@@ -29,6 +31,11 @@ func main() {
 		parallel    = flag.Int("parallel", 8, "E9 goroutine count, compared against a serial run")
 		execWorkers = flag.Int("exec-workers", 0, "E9 intra-query executor workers per goroutine (0 = serial operators)")
 		repeatFlag  = flag.Int("repeat", 3, "E9 passes over the workload per measurement")
+
+		chaosFlag    = flag.Bool("chaos", false, "shorthand for -exp E10: guardrail runtime under fault injection")
+		chaosRates   = flag.String("chaos-rates", "0,0.01,0.10", "E10 comma-separated fault rates in [0,1]")
+		chaosTimeout = flag.Duration("chaos-timeout", 5*time.Millisecond, "E10 per-decision budget for the learned planner")
+		chaosHang    = flag.Duration("chaos-hang", 20*time.Millisecond, "E10 injected hang duration (finite; > timeout)")
 	)
 	flag.Parse()
 
@@ -37,14 +44,30 @@ func main() {
 		sc = bench.FullScale()
 	}
 	want := map[string]bool{}
-	if *expFlag == "all" {
-		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"} {
+	switch {
+	case *chaosFlag:
+		want["E10"] = true
+	case *expFlag == "all":
+		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"} {
 			want[id] = true
 		}
-	} else {
+	default:
 		for _, id := range strings.Split(*expFlag, ",") {
 			want[strings.ToUpper(strings.TrimSpace(id))] = true
 		}
+	}
+
+	var rates []float64
+	for _, s := range strings.Split(*chaosRates, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscanf(s, "%g", &v); err != nil || v < 0 || v > 1 {
+			fatal(fmt.Errorf("bad -chaos-rates entry %q", s))
+		}
+		rates = append(rates, v)
 	}
 
 	type runner struct {
@@ -70,6 +93,9 @@ func main() {
 				gs = append(gs, *parallel)
 			}
 			return bench.E9Throughput(env, gs, *execWorkers, *repeatFlag)
+		}},
+		{"E10", func(env *bench.Env) (*bench.Report, error) {
+			return bench.E10Chaos(env, bench.ChaosOptions{Rates: rates, Timeout: *chaosTimeout, Hang: *chaosHang})
 		}},
 	}
 

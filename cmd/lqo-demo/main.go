@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -58,7 +59,7 @@ func main() {
 
 	fmt.Println("─── Step 4: deploy each driver and rerun (transparent to the user) ───")
 	for _, name := range console.Drivers() {
-		check(console.StartTask(name))
+		check(console.StartTask(context.Background(), name))
 		lats := runAll(console, test)
 		var rel []float64
 		for i := range lats {
@@ -74,7 +75,7 @@ func main() {
 func runAll(console *pilotscope.Console, sqls []string) []float64 {
 	lats := make([]float64, len(sqls))
 	for i, sql := range sqls {
-		res, err := console.ExecuteSQL(sql)
+		res, err := console.ExecuteSQL(context.Background(), sql)
 		check(err)
 		lats[i] = res.Latency
 	}

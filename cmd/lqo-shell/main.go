@@ -13,6 +13,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -132,7 +133,7 @@ func dispatch(console *pilotscope.Console, eng *pilotscope.Engine, cat *data.Cat
 			break
 		}
 		fmt.Printf("training %s on the registered workload...\n", name)
-		if err := console.StartTask(name); err != nil {
+		if err := console.StartTask(context.Background(), name); err != nil {
 			fmt.Println("error:", err)
 		} else {
 			fmt.Printf("driver %s active\n", name)
@@ -144,14 +145,14 @@ func dispatch(console *pilotscope.Console, eng *pilotscope.Engine, cat *data.Cat
 			fmt.Println("error:", err)
 			break
 		}
-		p, err := eng.Pull(&pilotscope.Session{Query: q}, pilotscope.PullPlan, q)
+		p, err := eng.Pull(context.Background(), &pilotscope.Session{Query: q}, pilotscope.PullPlan, q)
 		if err != nil {
 			fmt.Println("error:", err)
 			break
 		}
 		fmt.Print(p)
 	default:
-		res, err := console.ExecuteSQL(line)
+		res, err := console.ExecuteSQL(context.Background(), line)
 		if err != nil {
 			fmt.Println("error:", err)
 			break

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -32,7 +33,7 @@ func main() {
 	// every ExecuteSQL is steered transparently.
 	bao := pilotscope.NewBaoDriver()
 	console.RegisterDriver(bao)
-	if err := console.StartTask("bao"); err != nil {
+	if err := console.StartTask(context.Background(), "bao"); err != nil {
 		log.Fatal(err)
 	}
 
@@ -40,11 +41,11 @@ func main() {
 	// comparisons go straight to the engine; the console keeps the trained
 	// driver active throughout.
 	for _, probe := range sqls[40:] {
-		natRes, err := eng.ExecuteSQL(&pilotscope.Session{}, probe)
+		natRes, err := eng.ExecuteSQL(context.Background(), &pilotscope.Session{}, probe)
 		if err != nil {
 			log.Fatal(err)
 		}
-		steered, err := console.ExecuteSQL(probe)
+		steered, err := console.ExecuteSQL(context.Background(), probe)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -43,7 +44,7 @@ func E7PilotScope(env *Env) (*Report, error) {
 	}
 	natLats := make([]float64, len(env.Test))
 	for i, l := range env.Test {
-		res, err := console.ExecuteQuery(l.Q)
+		res, err := console.ExecuteQuery(context.Background(), l.Q)
 		if err != nil {
 			return nil, err
 		}
@@ -58,7 +59,7 @@ func E7PilotScope(env *Env) (*Report, error) {
 	}
 	for _, d := range drivers {
 		console.RegisterDriver(d)
-		if err := console.StartTask(d.Name()); err != nil {
+		if err := console.StartTask(context.Background(), d.Name()); err != nil {
 			return nil, fmt.Errorf("E7 %s: %w", d.Name(), err)
 		}
 		before := console.DriverFailures
@@ -66,7 +67,7 @@ func E7PilotScope(env *Env) (*Report, error) {
 		start := time.Now()
 		var execWork float64
 		for i, l := range env.Test {
-			res, err := console.ExecuteQuery(l.Q)
+			res, err := console.ExecuteQuery(context.Background(), l.Q)
 			if err != nil {
 				return nil, fmt.Errorf("E7 %s: %w", d.Name(), err)
 			}
@@ -179,7 +180,7 @@ func e7IndexAdvisor(env *Env, r *Report) error {
 	console.SetWorkload(trainSQL)
 	before := make([]float64, len(priv.Test))
 	for i, l := range priv.Test {
-		res, err := console.ExecuteQuery(l.Q)
+		res, err := console.ExecuteQuery(context.Background(), l.Q)
 		if err != nil {
 			return err
 		}
@@ -187,13 +188,13 @@ func e7IndexAdvisor(env *Env, r *Report) error {
 	}
 	adv := pilotscope.NewIndexAdvisorDriver()
 	console.RegisterDriver(adv)
-	if err := console.StartTask(adv.Name()); err != nil {
+	if err := console.StartTask(context.Background(), adv.Name()); err != nil {
 		return err
 	}
 	start := time.Now()
 	after := make([]float64, len(priv.Test))
 	for i, l := range priv.Test {
-		res, err := console.ExecuteQuery(l.Q)
+		res, err := console.ExecuteQuery(context.Background(), l.Q)
 		if err != nil {
 			return err
 		}

@@ -46,7 +46,10 @@ func (e *Fauce) Train(ctx *Context) error {
 	for k := 0; k < e.K; k++ {
 		rng := newRNG(ctx.Seed + 700 + int64(k)*97)
 		sizes := append([]int{e.f.Dim()}, append(e.Hidden, 1)...)
-		net := ml.NewNet(sizes, ml.ReLU, rng)
+		net, err := ml.NewNet(sizes, ml.ReLU, rng)
+		if err != nil {
+			return err
+		}
 		xs := make([][]float64, len(ctx.Train))
 		ys := make([]float64, len(ctx.Train))
 		for i := range xs {

@@ -187,8 +187,16 @@ func (e *ALECE) Train(ctx *Context) error {
 		e.summaries[i] = e.summarize(ctx, k)
 	}
 	rng := newRNG(ctx.Seed + 606)
-	e.scorer = ml.NewNet([]int{e.SummaryDim, 8, 1}, ml.Tanh, rng)
-	e.head = ml.NewNet([]int{e.f.Dim() + e.SummaryDim, 48, 1}, ml.ReLU, rng)
+	scorer, err := ml.NewNet([]int{e.SummaryDim, 8, 1}, ml.Tanh, rng)
+	if err != nil {
+		return err
+	}
+	e.scorer = scorer
+	head, err := ml.NewNet([]int{e.f.Dim() + e.SummaryDim, 48, 1}, ml.ReLU, rng)
+	if err != nil {
+		return err
+	}
+	e.head = head
 	opt := ml.NewAdam(e.LR, e.scorer, e.head)
 
 	xs := make([][]float64, len(ctx.Train))

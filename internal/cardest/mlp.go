@@ -38,7 +38,11 @@ func (e *MLPEstimator) Train(ctx *Context) error {
 	e.f = NewFeaturizer(ctx.Cat, ctx.Stats, ctx.Train)
 	rng := rand.New(rand.NewSource(ctx.Seed + 101))
 	sizes := append([]int{e.f.Dim()}, append(e.Hidden, 1)...)
-	e.net = ml.NewNet(sizes, ml.ReLU, rng)
+	net, err := ml.NewNet(sizes, ml.ReLU, rng)
+	if err != nil {
+		return err
+	}
+	e.net = net
 	xs := make([][]float64, len(ctx.Train))
 	ys := make([]float64, len(ctx.Train))
 	for i, s := range ctx.Train {

@@ -65,10 +65,19 @@ func (m *MSCN) Train(ctx *Context) error {
 	m.f = NewFeaturizer(ctx.Cat, ctx.Stats, ctx.Train)
 	rng := rand.New(rand.NewSource(ctx.Seed + 202))
 	h := m.HiddenSet
-	m.setT = ml.NewNet([]int{m.f.TableElemDim(), h, h}, ml.ReLU, rng)
-	m.setJ = ml.NewNet([]int{m.f.JoinElemDim(), h, h}, ml.ReLU, rng)
-	m.setP = ml.NewNet([]int{m.f.PredElemDim(), h, h}, ml.ReLU, rng)
-	m.out = ml.NewNet([]int{3 * h, m.HiddenOut, 1}, ml.ReLU, rng)
+	var err error
+	if m.setT, err = ml.NewNet([]int{m.f.TableElemDim(), h, h}, ml.ReLU, rng); err != nil {
+		return err
+	}
+	if m.setJ, err = ml.NewNet([]int{m.f.JoinElemDim(), h, h}, ml.ReLU, rng); err != nil {
+		return err
+	}
+	if m.setP, err = ml.NewNet([]int{m.f.PredElemDim(), h, h}, ml.ReLU, rng); err != nil {
+		return err
+	}
+	if m.out, err = ml.NewNet([]int{3 * h, m.HiddenOut, 1}, ml.ReLU, rng); err != nil {
+		return err
+	}
 	opt := ml.NewAdam(m.LR, m.setT, m.setJ, m.setP, m.out)
 
 	type sample struct {

@@ -64,12 +64,16 @@ func (e *Naru) Train(ctx *Context) error {
 		if t.NumRows() == 0 {
 			continue
 		}
-		e.tables[tn] = e.trainTable(t)
+		nt, err := e.trainTable(t)
+		if err != nil {
+			return err
+		}
+		e.tables[tn] = nt
 	}
 	return nil
 }
 
-func (e *Naru) trainTable(t *data.Table) *naruTable {
+func (e *Naru) trainTable(t *data.Table) (*naruTable, error) {
 	nt := &naruTable{bins: e.Bins}
 	for _, c := range t.Cols {
 		nt.cols = append(nt.cols, c.Name)
@@ -82,7 +86,11 @@ func (e *Naru) trainTable(t *data.Table) *naruTable {
 		if in == 0 {
 			in = 1 // constant input for the first column's marginal
 		}
-		nets[i] = ml.NewNet([]int{in, e.Hidden, e.Bins}, ml.ReLU, e.rng)
+		net, err := ml.NewNet([]int{in, e.Hidden, e.Bins}, ml.ReLU, e.rng)
+		if err != nil {
+			return nil, err
+		}
+		nets[i] = net
 	}
 	nt.nets = nets
 
@@ -128,7 +136,7 @@ func (e *Naru) trainTable(t *data.Table) *naruTable {
 			opt.Step(end - s)
 		}
 	}
-	return nt
+	return nt, nil
 }
 
 // condInput builds the concatenated one-hot input of the previous columns'

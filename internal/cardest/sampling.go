@@ -57,7 +57,9 @@ func (s *SamplingEstimator) Train(ctx *Context) error {
 					mc.AppendInt(c.Ints[r])
 				}
 			}
-			mini.AddColumn(mc)
+			if err := mini.AddColumn(mc); err != nil {
+				return err
+			}
 		}
 		if len(rows) > 0 {
 			s.scale[tn] = float64(t.NumRows()) / float64(len(rows))

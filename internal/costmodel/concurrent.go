@@ -64,7 +64,11 @@ func (m *ConcurrentModel) TrainConcurrent(ctx *Context, samples []ConcurrentSamp
 	m.f = NewPlanFeaturizer(ctx.Cat, false)
 	rng := newRNG(ctx.Seed + 17)
 	dim := m.f.Dim() + 3
-	m.net = ml.NewNet([]int{dim, 32, 1}, ml.ReLU, rng)
+	net, err := ml.NewNet([]int{dim, 32, 1}, ml.ReLU, rng)
+	if err != nil {
+		return err
+	}
+	m.net = net
 	xs := make([][]float64, len(samples))
 	ys := make([]float64, len(samples))
 	for i, s := range samples {

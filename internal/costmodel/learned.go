@@ -79,7 +79,11 @@ func (m *MLPCost) Train(ctx *Context) error {
 	}
 	m.f = NewPlanFeaturizer(ctx.Cat, false)
 	rng := newRNG(ctx.Seed + 11)
-	m.net = ml.NewNet([]int{m.f.Dim(), 48, 24, 1}, ml.ReLU, rng)
+	net, err := ml.NewNet([]int{m.f.Dim(), 48, 24, 1}, ml.ReLU, rng)
+	if err != nil {
+		return err
+	}
+	m.net = net
 	xs := make([][]float64, len(ctx.Plans))
 	ys := make([]float64, len(ctx.Plans))
 	for i, tp := range ctx.Plans {
@@ -129,8 +133,13 @@ func (m *TreeConv) Train(ctx *Context) error {
 	}
 	rng := newRNG(ctx.Seed + 13)
 	in := NodeFeatureDim + 2*m.EmbDim
-	m.combine = ml.NewNet([]int{in, 32, m.EmbDim}, ml.ReLU, rng)
-	m.head = ml.NewNet([]int{m.EmbDim, 16, 1}, ml.ReLU, rng)
+	var err error
+	if m.combine, err = ml.NewNet([]int{in, 32, m.EmbDim}, ml.ReLU, rng); err != nil {
+		return err
+	}
+	if m.head, err = ml.NewNet([]int{m.EmbDim, 16, 1}, ml.ReLU, rng); err != nil {
+		return err
+	}
 	opt := ml.NewAdam(m.LR, m.combine, m.head)
 
 	idx := make([]int, len(ctx.Plans))

@@ -44,9 +44,16 @@ func (m *MultiTask) Train(ctx *Context) error {
 	}
 	rng := newRNG(ctx.Seed + 19)
 	in := NodeFeatureDim + 2*m.EmbDim
-	m.combine = ml.NewNet([]int{in, 32, m.EmbDim}, ml.ReLU, rng)
-	m.latHead = ml.NewNet([]int{m.EmbDim, 16, 1}, ml.ReLU, rng)
-	m.cardHead = ml.NewNet([]int{m.EmbDim, 16, 1}, ml.ReLU, rng)
+	var err error
+	if m.combine, err = ml.NewNet([]int{in, 32, m.EmbDim}, ml.ReLU, rng); err != nil {
+		return err
+	}
+	if m.latHead, err = ml.NewNet([]int{m.EmbDim, 16, 1}, ml.ReLU, rng); err != nil {
+		return err
+	}
+	if m.cardHead, err = ml.NewNet([]int{m.EmbDim, 16, 1}, ml.ReLU, rng); err != nil {
+		return err
+	}
 	opt := ml.NewAdam(m.LR, m.combine, m.latHead, m.cardHead)
 
 	idx := make([]int, len(ctx.Plans))

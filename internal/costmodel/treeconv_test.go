@@ -18,8 +18,13 @@ func TestTreeConvGradientCheck(t *testing.T) {
 	m.EmbDim = 4
 	rng := newRNG(7)
 	in := NodeFeatureDim + 2*m.EmbDim
-	m.combine = ml.NewNet([]int{in, 6, m.EmbDim}, ml.Tanh, rng)
-	m.head = ml.NewNet([]int{m.EmbDim, 4, 1}, ml.Tanh, rng)
+	var err error
+	if m.combine, err = ml.NewNet([]int{in, 6, m.EmbDim}, ml.Tanh, rng); err != nil {
+		t.Fatal(err)
+	}
+	if m.head, err = ml.NewNet([]int{m.EmbDim, 4, 1}, ml.Tanh, rng); err != nil {
+		t.Fatal(err)
+	}
 
 	j := query.Join{LeftAlias: "a", LeftCol: "x", RightAlias: "b", RightCol: "y"}
 	left := plan.NewScan(plan.SeqScan, "a", "a", nil)

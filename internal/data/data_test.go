@@ -223,12 +223,15 @@ func TestValidateCatchesRaggedColumns(t *testing.T) {
 	}
 }
 
-func TestAddColumnDuplicatePanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic on duplicate column")
-		}
-	}()
+func TestAddColumnDuplicateErrors(t *testing.T) {
 	tbl := NewTable("t", &Column{Name: "a", Kind: Int})
-	tbl.AddColumn(&Column{Name: "a", Kind: Int})
+	if err := tbl.AddColumn(&Column{Name: "a", Kind: Int}); err == nil {
+		t.Fatal("expected error on duplicate column")
+	}
+	if err := tbl.AddColumn(&Column{Name: "b", Kind: Int}); err != nil {
+		t.Fatalf("fresh column should add cleanly: %v", err)
+	}
+	if tbl.Column("b") == nil {
+		t.Fatal("column b should exist after AddColumn")
+	}
 }

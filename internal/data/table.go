@@ -107,14 +107,17 @@ func NewTable(name string, cols ...*Column) *Table {
 	return t
 }
 
-// AddColumn appends a column definition. It panics if a column with the
-// same name exists, since schemas are fixed at load time.
-func (t *Table) AddColumn(c *Column) {
+// AddColumn appends a column definition. A duplicate column name is
+// reported as an error (it used to panic): schema loaders feed this from
+// external input, and malformed input must degrade to an error the caller
+// can surface, never crash the process.
+func (t *Table) AddColumn(c *Column) error {
 	if _, dup := t.byName[c.Name]; dup {
-		panic(fmt.Sprintf("data: duplicate column %s.%s", t.Name, c.Name))
+		return fmt.Errorf("data: duplicate column %s.%s", t.Name, c.Name)
 	}
 	t.byName[c.Name] = len(t.Cols)
 	t.Cols = append(t.Cols, c)
+	return nil
 }
 
 // Column returns the named column, or nil if absent.

@@ -12,6 +12,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -115,9 +116,28 @@ func (e *Executor) maxRows() int {
 // node's TrueCard and returns the final cardinality, the query's
 // aggregate value, and the measured cost.
 func (e *Executor) Run(q *query.Query, p *plan.Node) (*Result, error) {
+	return e.RunCtx(context.Background(), q, p)
+}
+
+// cancelCheckRows is how many rows a tight operator loop processes between
+// cooperative cancellation checks. Small enough that a runaway scan or
+// probe notices a deadline within microseconds, large enough that the
+// per-row cost of ctx.Err() is amortized away.
+const cancelCheckRows = 4096
+
+// RunCtx is Run under a context: the executor checks ctx cooperatively
+// inside every scan, build, probe and cross-product loop (serial and
+// parallel), so a query past its deadline — or canceled by its caller —
+// aborts promptly with ctx.Err() instead of running to completion. All
+// worker goroutines observe the same context and are joined before RunCtx
+// returns; cancellation never leaks goroutines.
+func (e *Executor) RunCtx(ctx context.Context, q *query.Query, p *plan.Node) (*Result, error) {
 	st := &CostStats{}
-	rel, err := e.eval(q, p, st)
+	rel, err := e.eval(ctx, q, p, st)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	res := &Result{Count: int64(rel.Len()), Stats: *st}
@@ -177,19 +197,22 @@ func (e *Executor) aggregate(q *query.Query, rel *Relation, st *CostStats) (floa
 	}
 }
 
-func (e *Executor) eval(q *query.Query, n *plan.Node, st *CostStats) (*Relation, error) {
+func (e *Executor) eval(ctx context.Context, q *query.Query, n *plan.Node, st *CostStats) (*Relation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if n.IsLeaf() {
-		return e.evalScan(q, n, st)
+		return e.evalScan(ctx, q, n, st)
 	}
-	left, err := e.eval(q, n.Left, st)
+	left, err := e.eval(ctx, q, n.Left, st)
 	if err != nil {
 		return nil, err
 	}
-	right, err := e.eval(q, n.Right, st)
+	right, err := e.eval(ctx, q, n.Right, st)
 	if err != nil {
 		return nil, err
 	}
-	out, err := e.evalJoin(q, n, left, right, st)
+	out, err := e.evalJoin(ctx, q, n, left, right, st)
 	if err != nil {
 		return nil, err
 	}
@@ -197,7 +220,7 @@ func (e *Executor) eval(q *query.Query, n *plan.Node, st *CostStats) (*Relation,
 	return out, nil
 }
 
-func (e *Executor) evalScan(q *query.Query, n *plan.Node, st *CostStats) (*Relation, error) {
+func (e *Executor) evalScan(ctx context.Context, q *query.Query, n *plan.Node, st *CostStats) (*Relation, error) {
 	tbl := e.Cat.Table(n.Table)
 	if tbl == nil {
 		return nil, fmt.Errorf("exec: unknown table %q", n.Table)
@@ -215,7 +238,11 @@ func (e *Executor) evalScan(q *query.Query, n *plan.Node, st *CostStats) (*Relat
 		if err != nil {
 			return nil, err
 		}
-		rel.Tuples = e.filterRows(nrows, cols, preds)
+		tuples, err := e.filterRows(ctx, nrows, cols, preds)
+		if err != nil {
+			return nil, err
+		}
+		rel.Tuples = tuples
 	case plan.IndexScan:
 		eqIdx := -1
 		var ix *data.Index
@@ -244,7 +271,12 @@ func (e *Executor) evalScan(q *query.Query, n *plan.Node, st *CostStats) (*Relat
 		}
 		st.TuplesRead += int64(len(rows))
 		st.WorkUnits += cIndexSeek + float64(len(rows))*(cRead+cPred*float64(len(rest)))
-		for _, r := range rows {
+		for i, r := range rows {
+			if i%cancelCheckRows == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			if matchesAll(cols, rest, int(r)) {
 				rel.Tuples = append(rel.Tuples, []int32{r})
 			}
@@ -342,7 +374,7 @@ func keysEqual(lt []int32, lks []keyCol, rt []int32, rks []keyCol) bool {
 	return true
 }
 
-func (e *Executor) evalJoin(q *query.Query, n *plan.Node, left, right *Relation, st *CostStats) (*Relation, error) {
+func (e *Executor) evalJoin(ctx context.Context, q *query.Query, n *plan.Node, left, right *Relation, st *CostStats) (*Relation, error) {
 	st.WorkUnits += cStartup
 	out := newRelation(append(append([]string{}, left.Aliases...), right.Aliases...))
 
@@ -355,7 +387,12 @@ func (e *Executor) evalJoin(q *query.Query, n *plan.Node, left, right *Relation,
 			return nil, fmt.Errorf("exec: cross product of %d x %d exceeds intermediate cap", left.Len(), right.Len())
 		}
 		st.WorkUnits += float64(left.Len()) * float64(right.Len()) * cNLCompare
-		for _, lt := range left.Tuples {
+		for li, lt := range left.Tuples {
+			if li%cancelCheckRows == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			for _, rt := range right.Tuples {
 				out.Tuples = append(out.Tuples, concatTuple(lt, rt))
 			}
@@ -404,11 +441,19 @@ func (e *Executor) evalJoin(q *query.Query, n *plan.Node, left, right *Relation,
 	}
 	ht := make(map[uint64][]int32, build.Len())
 	for ti, t := range build.Tuples {
+		if ti%cancelCheckRows == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		h := compositeKey(t, bks)
 		ht[h] = append(ht[h], int32(ti))
 	}
 	limit := e.maxRows()
-	tuples, capExceeded := e.probeHash(probe, build, ht, pks, bks, buildIsRight, limit)
+	tuples, capExceeded, err := e.probeHash(ctx, probe, build, ht, pks, bks, buildIsRight, limit)
+	if err != nil {
+		return nil, err
+	}
 	if capExceeded {
 		return nil, fmt.Errorf("exec: join output exceeds intermediate cap (%d)", limit)
 	}

@@ -14,6 +14,7 @@
 package exec
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -71,38 +72,52 @@ func runSpans(spans []span, fn func(i int, s span)) {
 // filterRows evaluates preds over rows [0, nrows) and returns the
 // matching row ids as single-column tuples, in row order. With Workers>1
 // and a large enough table the scan is partitioned; cols are read-only
-// and shared across workers.
-func (e *Executor) filterRows(nrows int, cols []*data.Column, preds []query.Pred) [][]int32 {
+// and shared across workers. Every partition (and the serial path) checks
+// ctx cooperatively, so a canceled query stops scanning within
+// cancelCheckRows rows per worker.
+func (e *Executor) filterRows(ctx context.Context, nrows int, cols []*data.Column, preds []query.Pred) ([][]int32, error) {
 	w := e.workers()
 	if w == 1 || nrows < parallelMinRows {
 		var out [][]int32
 		for i := 0; i < nrows; i++ {
+			if i%cancelCheckRows == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			if matchesAll(cols, preds, i) {
 				out = append(out, []int32{int32(i)})
 			}
 		}
-		return out
+		return out, nil
 	}
 	spans := splitSpans(nrows, w)
 	bufs := make([][][]int32, len(spans))
 	runSpans(spans, func(si int, s span) {
 		var buf [][]int32
 		for i := s.lo; i < s.hi; i++ {
+			if (i-s.lo)%cancelCheckRows == 0 && ctx.Err() != nil {
+				return // partial buffer discarded below
+			}
 			if matchesAll(cols, preds, i) {
 				buf = append(buf, []int32{int32(i)})
 			}
 		}
 		bufs[si] = buf
 	})
-	return mergeSpanBuffers(bufs)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return mergeSpanBuffers(bufs), nil
 }
 
 // probeHash runs the probe phase of a hash join over probe.Tuples against
 // the prebuilt table ht, returning output tuples in probe order. The hash
 // table and both relations are read-only during the probe, so partitions
-// share them safely. errCapExceeded is reported exactly when the serial
-// path would report it: the total output exceeds limit.
-func (e *Executor) probeHash(probe, build *Relation, ht map[uint64][]int32, pks, bks []keyCol, buildIsRight bool, limit int) ([][]int32, bool) {
+// share them safely. capExceeded is reported exactly when the serial
+// path would report it: the total output exceeds limit. Cancellation is
+// checked cooperatively on both the serial and partitioned paths.
+func (e *Executor) probeHash(ctx context.Context, probe, build *Relation, ht map[uint64][]int32, pks, bks []keyCol, buildIsRight bool, limit int) ([][]int32, bool, error) {
 	emit := func(pt []int32, buf [][]int32) [][]int32 {
 		h := compositeKey(pt, pks)
 		for _, bi := range ht[h] {
@@ -124,13 +139,18 @@ func (e *Executor) probeHash(probe, build *Relation, ht map[uint64][]int32, pks,
 	w := e.workers()
 	if w == 1 || probe.Len() < parallelMinRows {
 		var out [][]int32
-		for _, pt := range probe.Tuples {
+		for i, pt := range probe.Tuples {
+			if i%cancelCheckRows == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, false, err
+				}
+			}
 			out = emit(pt, out)
 			if len(out) > limit {
-				return nil, true
+				return nil, true, nil
 			}
 		}
-		return out, false
+		return out, false, nil
 	}
 
 	spans := splitSpans(probe.Len(), w)
@@ -146,23 +166,26 @@ func (e *Executor) probeHash(probe, build *Relation, ht map[uint64][]int32, pks,
 				exceeded.Store(true)
 				return
 			}
-			if i%1024 == 0 && exceeded.Load() {
+			if i%1024 == 0 && (exceeded.Load() || ctx.Err() != nil) {
 				return
 			}
 		}
 		bufs[si] = buf
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
 	if exceeded.Load() {
-		return nil, true
+		return nil, true, nil
 	}
 	total := 0
 	for _, b := range bufs {
 		total += len(b)
 	}
 	if total > limit {
-		return nil, true
+		return nil, true, nil
 	}
-	return mergeSpanBuffers(bufs), false
+	return mergeSpanBuffers(bufs), false, nil
 }
 
 // mergeSpanBuffers concatenates per-span output buffers in span order,

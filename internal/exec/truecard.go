@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -72,6 +73,12 @@ func NewCardCache(ex *Executor) *CardCache {
 
 // TrueCard returns the exact cardinality of q, executing it on first use.
 func (c *CardCache) TrueCard(q *query.Query) (float64, error) {
+	return c.TrueCardCtx(context.Background(), q)
+}
+
+// TrueCardCtx is TrueCard under a context; a cache miss executes the
+// canonical plan with the caller's deadline, a hit never blocks.
+func (c *CardCache) TrueCardCtx(ctx context.Context, q *query.Query) (float64, error) {
 	key := q.Key()
 	c.mu.Lock()
 	if v, ok := c.m[key]; ok {
@@ -83,7 +90,7 @@ func (c *CardCache) TrueCard(q *query.Query) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	res, err := c.Ex.Run(q, p)
+	res, err := c.Ex.RunCtx(ctx, q, p)
 	if err != nil {
 		return 0, err
 	}

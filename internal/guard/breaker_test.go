@@ -1,0 +1,150 @@
+package guard
+
+import "testing"
+
+func TestBreakerTripsAfterKConsecutiveFailures(t *testing.T) {
+	b := NewBreaker(BreakerConfig{FailureThreshold: 3, Cooldown: 4})
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker must allow (i=%d)", i)
+		}
+		b.Failure()
+	}
+	if b.State() != Closed {
+		t.Fatalf("state after 2 failures = %v, want closed", b.State())
+	}
+	b.Allow()
+	b.Failure() // third consecutive → trip
+	if b.State() != Open {
+		t.Fatalf("state after 3 failures = %v, want open", b.State())
+	}
+	if b.Trips() != 1 {
+		t.Fatalf("trips = %d, want 1", b.Trips())
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b := NewBreaker(BreakerConfig{FailureThreshold: 3})
+	b.Failure()
+	b.Failure()
+	b.Success() // streak broken
+	b.Failure()
+	b.Failure()
+	if b.State() != Closed {
+		t.Fatalf("state = %v, want closed (streak was reset)", b.State())
+	}
+}
+
+func TestBreakerCooldownThenHalfOpenProbe(t *testing.T) {
+	b := NewBreaker(BreakerConfig{FailureThreshold: 1, Cooldown: 3})
+	b.Allow()
+	b.Failure() // trip
+	for i := 0; i < 3; i++ {
+		if b.Allow() {
+			t.Fatalf("open breaker allowed during cooldown (i=%d)", i)
+		}
+	}
+	// Cooldown (3 bypassed queries) exhausted → half-open, one probe admitted.
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed: probe must be admitted")
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	// Only one probe at a time.
+	if b.Allow() {
+		t.Fatal("second concurrent probe must be rejected")
+	}
+	b.Success()
+	if b.State() != Closed {
+		t.Fatalf("state after probe success = %v, want closed", b.State())
+	}
+}
+
+func TestBreakerExponentialBackoff(t *testing.T) {
+	b := NewBreaker(BreakerConfig{FailureThreshold: 1, Cooldown: 2, MaxCooldown: 8})
+	drainToProbe := func() {
+		t.Helper()
+		for i := 0; i < 1000; i++ {
+			if b.Allow() {
+				return
+			}
+		}
+		t.Fatal("never reached a half-open probe")
+	}
+	countCooldown := func() int {
+		t.Helper()
+		n := 0
+		for i := 0; i < 1000; i++ {
+			if b.Allow() {
+				return n
+			}
+			n++
+		}
+		t.Fatal("cooldown never elapsed")
+		return 0
+	}
+
+	b.Allow()
+	b.Failure() // trip #1, cooldown 2
+	if got := countCooldown(); got != 2 {
+		t.Fatalf("first cooldown = %d, want 2", got)
+	}
+	b.Failure() // failed probe → backoff 4
+	if got := countCooldown(); got != 4 {
+		t.Fatalf("second cooldown = %d, want 4", got)
+	}
+	b.Failure() // failed probe → backoff 8 (cap)
+	if got := countCooldown(); got != 8 {
+		t.Fatalf("third cooldown = %d, want 8", got)
+	}
+	b.Failure() // failed probe → capped at 8
+	if got := countCooldown(); got != 8 {
+		t.Fatalf("capped cooldown = %d, want 8", got)
+	}
+	if b.Trips() != 4 {
+		t.Fatalf("trips = %d, want 4", b.Trips())
+	}
+	// A successful probe closes and resets the backoff to the base.
+	b.Success()
+	if b.State() != Closed {
+		t.Fatalf("state = %v, want closed", b.State())
+	}
+	b.Allow()
+	b.Failure() // trip again: cooldown must be back to base 2
+	if got := countCooldown(); got != 2 {
+		t.Fatalf("post-recovery cooldown = %d, want 2 (backoff reset)", got)
+	}
+	_ = drainToProbe
+}
+
+func TestBreakerObserveLatencyRegression(t *testing.T) {
+	b := NewBreaker(BreakerConfig{FailureThreshold: 2, RegressionRatio: 10})
+	b.ObserveLatency(50, 10) // 5x: fine
+	if b.State() != Closed {
+		t.Fatalf("state = %v after healthy ratio", b.State())
+	}
+	b.ObserveLatency(200, 10) // 20x: regression
+	b.ObserveLatency(500, 10) // 50x: regression → trip at K=2
+	if b.State() != Open {
+		t.Fatalf("state = %v, want open after 2 regressions", b.State())
+	}
+	// Ratio accounting disabled → everything is a success.
+	b2 := NewBreaker(BreakerConfig{FailureThreshold: 1, RegressionRatio: 1})
+	b2.ObserveLatency(1e9, 1)
+	if b2.State() != Closed {
+		t.Fatalf("disabled regression ratio still tripped: %v", b2.State())
+	}
+	// Zero baseline cannot be judged → success.
+	b3 := NewBreaker(BreakerConfig{FailureThreshold: 1})
+	b3.ObserveLatency(100, 0)
+	if b3.State() != Closed {
+		t.Fatalf("zero baseline tripped breaker: %v", b3.State())
+	}
+}
+
+func TestBreakerStateStrings(t *testing.T) {
+	if Closed.String() != "closed" || Open.String() != "open" || HalfOpen.String() != "half-open" {
+		t.Fatal("state strings wrong")
+	}
+}

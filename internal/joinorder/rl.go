@@ -317,7 +317,11 @@ func (s *RTOS) Train(ctx *Context) error {
 	s.base = ctx.Base
 	s.f = newStateFeatures(ctx.Cat.TableNames(), ctx.Base.Est)
 	s.rng = rand.New(rand.NewSource(ctx.Seed + 41))
-	s.net = ml.NewNet([]int{s.f.dim(), 32, 1}, ml.ReLU, s.rng)
+	net, err := ml.NewNet([]int{s.f.dim(), 32, 1}, ml.ReLU, s.rng)
+	if err != nil {
+		return err
+	}
+	s.net = net
 	s.adam = ml.NewAdam(s.LR, s.net)
 	if len(ctx.Workload) == 0 {
 		return nil

@@ -42,7 +42,11 @@ func (c *PairwiseComparator) Train(cat *data.Catalog, pairs []PlanPair, seed int
 	}
 	c.f = costmodel.NewPlanFeaturizer(cat, false)
 	rng := rand.New(rand.NewSource(seed))
-	c.net = ml.NewNet([]int{c.f.Dim(), 32, 1}, ml.ReLU, rng)
+	net, err := ml.NewNet([]int{c.f.Dim(), 32, 1}, ml.ReLU, rng)
+	if err != nil {
+		return err
+	}
+	c.net = net
 	adam := ml.NewAdam(c.LR, c.net)
 	idx := make([]int, len(pairs))
 	for i := range idx {

@@ -38,6 +38,27 @@ func QError(est, truth float64) float64 {
 	return q
 }
 
+// MaxCard is the upper clamp for cardinality estimates entering the cost
+// model. It is far above any reachable intermediate size but small enough
+// that downstream cost arithmetic (products, logs) stays finite.
+const MaxCard = 1e15
+
+// ClampCard sanitizes a cardinality estimate before it reaches the cost
+// model, mirroring the QError clamp: NaN and -Inf (no information) become
+// 1, +Inf and absurdly large values cap at MaxCard, and non-positive
+// estimates floor at 1 tuple — a learned estimator's wild outlier can
+// skew plan choice but never poison cost arithmetic with non-finite
+// values.
+func ClampCard(est float64) float64 {
+	if math.IsNaN(est) || math.IsInf(est, -1) || est <= 0 {
+		return 1
+	}
+	if math.IsInf(est, 1) || est > MaxCard {
+		return MaxCard
+	}
+	return est
+}
+
 // Quantiles summarizes a sample at the 50th/90th/95th/99th percentiles
 // plus the maximum. The input is not modified.
 type Quantiles struct {

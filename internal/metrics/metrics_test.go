@@ -115,10 +115,10 @@ func TestSummarizeInterpolates(t *testing.T) {
 			t.Errorf("%s = %v, want %v", name, got, want)
 		}
 	}
-	check("P50", s.P50, 5.5)   // 0.50*9 = 4.5 → midway between 5 and 6
-	check("P90", s.P90, 9.1)   // 0.90*9 = 8.1 → 9 + 0.1
-	check("P95", s.P95, 9.55)  // 0.95*9 = 8.55
-	check("P99", s.P99, 9.91)  // old code: 9 (rank truncated to 8)
+	check("P50", s.P50, 5.5)  // 0.50*9 = 4.5 → midway between 5 and 6
+	check("P90", s.P90, 9.1)  // 0.90*9 = 8.1 → 9 + 0.1
+	check("P95", s.P95, 9.55) // 0.95*9 = 8.55
+	check("P99", s.P99, 9.91) // old code: 9 (rank truncated to 8)
 	check("Max", s.Max, 10)
 	if s.P99 <= 9 {
 		t.Fatalf("P99 = %v still shows the truncation bias", s.P99)
@@ -197,5 +197,25 @@ func TestSpearmanTiesAndEdges(t *testing.T) {
 	rho := SpearmanRho([]float64{1, 1, 2, 2}, []float64{1, 2, 3, 4})
 	if rho < -1 || rho > 1 {
 		t.Fatalf("tied rho out of range: %v", rho)
+	}
+}
+
+func TestClampCard(t *testing.T) {
+	cases := []struct {
+		in, want float64
+	}{
+		{math.NaN(), 1},
+		{math.Inf(1), MaxCard},
+		{math.Inf(-1), 1},
+		{0, 1},
+		{-5, 1},
+		{0.3, 0.3}, // fractional expected rows are legitimate
+		{42, 42},
+		{MaxCard * 10, MaxCard},
+	}
+	for _, c := range cases {
+		if got := ClampCard(c.in); got != c.want {
+			t.Fatalf("ClampCard(%v) = %v, want %v", c.in, got, c.want)
+		}
 	}
 }

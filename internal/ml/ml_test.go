@@ -37,9 +37,19 @@ func TestRidgeErrorsOnEmpty(t *testing.T) {
 	}
 }
 
+// mustNet builds a net or fails the test — test architectures are static.
+func mustNet(t *testing.T, sizes []int, act Activation, rng *rand.Rand) *Net {
+	t.Helper()
+	net, err := NewNet(sizes, act, rng)
+	if err != nil {
+		t.Fatalf("NewNet(%v): %v", sizes, err)
+	}
+	return net
+}
+
 func TestNetLearnsXOR(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
-	net := NewNet([]int{2, 8, 1}, Tanh, rng)
+	net := mustNet(t, []int{2, 8, 1}, Tanh, rng)
 	xs := [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
 	ys := []float64{0, 1, 1, 0}
 	// Replicate for batching.
@@ -63,7 +73,7 @@ func TestNetLearnsXOR(t *testing.T) {
 
 func TestBackwardGradientCheck(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
-	net := NewNet([]int{3, 5, 1}, ReLU, rng)
+	net := mustNet(t, []int{3, 5, 1}, ReLU, rng)
 	x := []float64{0.3, -0.2, 0.8}
 	// Analytic gradient of the first layer's first weight.
 	net.ZeroGrad()
@@ -86,7 +96,7 @@ func TestBackwardGradientCheck(t *testing.T) {
 
 func TestAdamReducesLoss(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
-	net := NewNet([]int{1, 8, 1}, ReLU, rng)
+	net := mustNet(t, []int{1, 8, 1}, ReLU, rng)
 	var xs [][]float64
 	var ys []float64
 	for i := 0; i < 100; i++ {
@@ -253,7 +263,7 @@ func TestSoftmaxProperty(t *testing.T) {
 func TestNetDeterminism(t *testing.T) {
 	mk := func() float64 {
 		rng := rand.New(rand.NewSource(99))
-		net := NewNet([]int{2, 4, 1}, ReLU, rng)
+		net := mustNet(t, []int{2, 4, 1}, ReLU, rng)
 		xs := [][]float64{{0.1, 0.9}, {0.4, 0.2}}
 		ys := []float64{1, 2}
 		TrainRegression(net, xs, ys, 10, 2, 1e-2, rng)
@@ -266,7 +276,7 @@ func TestNetDeterminism(t *testing.T) {
 
 func TestNumParams(t *testing.T) {
 	rng := rand.New(rand.NewSource(10))
-	net := NewNet([]int{3, 4, 2}, ReLU, rng)
+	net := mustNet(t, []int{3, 4, 2}, ReLU, rng)
 	want := 3*4 + 4 + 4*2 + 2
 	if got := net.NumParams(); got != want {
 		t.Fatalf("NumParams = %d, want %d", got, want)

@@ -129,10 +129,19 @@ type Net struct {
 }
 
 // NewNet builds a net with the given layer sizes, hidden activation and an
-// identity output layer. sizes must list at least input and output widths.
-func NewNet(sizes []int, hidden Activation, rng *rand.Rand) *Net {
+// identity output layer. sizes must list at least input and output widths,
+// all positive; a bad architecture is reported as an error (it used to
+// panic) so a learned component constructed from derived dimensions — a
+// featurizer returning zero width on a degenerate schema, say — fails its
+// Train call instead of crashing the host.
+func NewNet(sizes []int, hidden Activation, rng *rand.Rand) (*Net, error) {
 	if len(sizes) < 2 {
-		panic(fmt.Sprintf("ml: NewNet needs >=2 sizes, got %d", len(sizes)))
+		return nil, fmt.Errorf("ml: NewNet needs >=2 sizes, got %d", len(sizes))
+	}
+	for i, s := range sizes {
+		if s <= 0 {
+			return nil, fmt.Errorf("ml: NewNet layer %d has non-positive width %d", i, s)
+		}
 	}
 	n := &Net{}
 	for i := 0; i+1 < len(sizes); i++ {
@@ -142,7 +151,7 @@ func NewNet(sizes []int, hidden Activation, rng *rand.Rand) *Net {
 		}
 		n.Layers = append(n.Layers, NewLayer(sizes[i], sizes[i+1], act, rng))
 	}
-	return n
+	return n, nil
 }
 
 // InDim returns the input width.

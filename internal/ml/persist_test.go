@@ -8,7 +8,7 @@ import (
 
 func TestNetSaveLoadRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
-	net := NewNet([]int{3, 8, 1}, ReLU, rng)
+	net := mustNet(t, []int{3, 8, 1}, ReLU, rng)
 	xs := [][]float64{{0.1, 0.2, 0.3}, {0.9, 0.1, 0.5}}
 	ys := []float64{1, 2}
 	TrainRegression(net, xs, ys, 20, 2, 1e-2, rng)

@@ -1,0 +1,68 @@
+package opt
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"lqo/internal/query"
+)
+
+func TestOptimizeCtxPreCanceled(t *testing.T) {
+	f := newFixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := f.opt.OptimizeCtx(ctx, chainQuery()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("OptimizeCtx err = %v, want context.Canceled", err)
+	}
+}
+
+func TestOptimizeCtxBackgroundMatchesOptimize(t *testing.T) {
+	f := newFixture(t)
+	q := chainQuery()
+	a, err := f.opt.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.opt.OptimizeCtx(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("plans diverge: %s vs %s", a.Fingerprint(), b.Fingerprint())
+	}
+}
+
+// brokenEstimator returns non-finite garbage — the clamp must keep cost
+// arithmetic finite and planning functional.
+type brokenEstimator struct{ mode int }
+
+func (b *brokenEstimator) Estimate(q *query.Query) float64 {
+	switch b.mode {
+	case 0:
+		return math.NaN()
+	case 1:
+		return math.Inf(1)
+	case 2:
+		return -42
+	default:
+		return math.Inf(-1)
+	}
+}
+
+func TestOptimizeSurvivesBrokenEstimator(t *testing.T) {
+	f := newFixture(t)
+	for mode := 0; mode < 4; mode++ {
+		o := f.opt.WithEstimator(&brokenEstimator{mode: mode})
+		p, err := o.Optimize(chainQuery())
+		if err != nil {
+			t.Fatalf("mode %d: Optimize failed: %v", mode, err)
+		}
+		var walk func(n interface{ IsLeaf() bool })
+		_ = walk
+		if math.IsNaN(p.EstCost) || math.IsInf(p.EstCost, 0) {
+			t.Fatalf("mode %d: non-finite plan cost %v escaped the clamp", mode, p.EstCost)
+		}
+	}
+}

@@ -6,6 +6,7 @@
 package opt
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -13,6 +14,7 @@ import (
 
 	"lqo/internal/cost"
 	"lqo/internal/data"
+	"lqo/internal/metrics"
 	"lqo/internal/plan"
 	"lqo/internal/query"
 )
@@ -85,13 +87,24 @@ func (o *Optimizer) maxDP() int {
 // bushy DP when the query is small enough, greedy otherwise. Plan nodes
 // are annotated with EstCard and EstCost.
 func (o *Optimizer) Optimize(q *query.Query) (*plan.Node, error) {
+	return o.OptimizeCtx(context.Background(), q)
+}
+
+// OptimizeCtx is Optimize under a context: planning checks ctx between
+// DP subsets (and greedy merge rounds) so a deadline covering
+// optimize+execute also bounds enumeration time — a pathological
+// estimator cannot stall planning indefinitely.
+func (o *Optimizer) OptimizeCtx(ctx context.Context, q *query.Query) (*plan.Node, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if len(q.Refs) == 0 {
 		return nil, fmt.Errorf("opt: query has no tables")
 	}
 	if len(q.Refs) <= o.maxDP() {
-		return o.optimizeDP(q)
+		return o.optimizeDP(ctx, q)
 	}
-	return o.OptimizeGreedy(q)
+	return o.OptimizeGreedyCtx(ctx, q)
 }
 
 // memoEntry is the best plan found for one alias subset.
@@ -110,7 +123,7 @@ type dpState struct {
 	plans   int64        // plan alternatives costed by this call
 }
 
-func (o *Optimizer) optimizeDP(q *query.Query) (*plan.Node, error) {
+func (o *Optimizer) optimizeDP(ctx context.Context, q *query.Query) (*plan.Node, error) {
 	n := len(q.Refs)
 	st := &dpState{
 		q:       q,
@@ -135,6 +148,11 @@ func (o *Optimizer) optimizeDP(q *query.Query) (*plan.Node, error) {
 
 	full := (1 << n) - 1
 	for mask := 1; mask <= full; mask++ {
+		if mask%64 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if st.memo[mask] != nil || popcount(mask) < 2 {
 			continue
 		}
@@ -216,12 +234,24 @@ func (o *Optimizer) maskCard(st *dpState, mask int) float64 {
 	if st.cards[mask] >= 0 {
 		return st.cards[mask]
 	}
-	sub := st.q.Subquery(o.maskSet(st, mask))
-	c := o.Est.Estimate(sub)
-	if c < 0 || math.IsNaN(c) {
-		c = 0
-	}
+	c := o.estimate(st.q.Subquery(o.maskSet(st, mask)))
 	st.cards[mask] = c
+	return c
+}
+
+// estimate queries the (possibly learned, possibly injected) estimator
+// and sanitizes the answer before it can reach the cost model: NaN and
+// negative estimates become 0, +Inf and absurd magnitudes cap at
+// metrics.MaxCard. A broken estimator can mis-rank plans but can never
+// poison cost arithmetic with non-finite values.
+func (o *Optimizer) estimate(q *query.Query) float64 {
+	c := o.Est.Estimate(q)
+	if c < 0 || math.IsNaN(c) {
+		return 0
+	}
+	if c > metrics.MaxCard {
+		return metrics.MaxCard
+	}
 	return c
 }
 
@@ -277,6 +307,12 @@ func (o *Optimizer) indexEqColumn(table string, preds []query.Pred) string {
 // sub-plans with the lowest resulting cost (connected pairs only, unless
 // forced). It scales to arbitrary query sizes.
 func (o *Optimizer) OptimizeGreedy(q *query.Query) (*plan.Node, error) {
+	return o.OptimizeGreedyCtx(context.Background(), q)
+}
+
+// OptimizeGreedyCtx is OptimizeGreedy under a context, checked once per
+// merge round.
+func (o *Optimizer) OptimizeGreedyCtx(ctx context.Context, q *query.Query) (*plan.Node, error) {
 	if len(q.Refs) == 0 {
 		return nil, fmt.Errorf("opt: query has no tables")
 	}
@@ -292,6 +328,9 @@ func (o *Optimizer) OptimizeGreedy(q *query.Query) (*plan.Node, error) {
 		parts = append(parts, &part{node: e, cost: e.EstCost, card: e.EstCard})
 	}
 	for len(parts) > 1 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		bestI, bestJ := -1, -1
 		bestCost := math.Inf(1)
 		var bestNode *plan.Node
@@ -309,7 +348,7 @@ func (o *Optimizer) OptimizeGreedy(q *query.Query) (*plan.Node, error) {
 				for a := range parts[j].node.AliasSet() {
 					set[a] = true
 				}
-				card := o.Est.Estimate(q.Subquery(set))
+				card := o.estimate(q.Subquery(set))
 				for _, op := range []plan.Op{plan.HashJoin, plan.MergeJoin, plan.NestedLoopJoin} {
 					if len(conds) == 0 && op != plan.NestedLoopJoin {
 						continue
@@ -368,7 +407,7 @@ type part struct {
 func (o *Optimizer) scanFor(q *query.Query, alias string) (*plan.Node, error) {
 	preds := q.PredsOn(alias)
 	table := q.TableOf(alias)
-	card := o.Est.Estimate(q.Subquery(map[string]bool{alias: true}))
+	card := o.estimate(q.Subquery(map[string]bool{alias: true}))
 
 	bestCost := math.Inf(1)
 	var best *plan.Node
@@ -417,7 +456,7 @@ func (o *Optimizer) PlanFromOrder(q *query.Query, order []string) (*plan.Node, e
 		}
 		set[a] = true
 		conds := g.JoinsBetween(root.AliasSet(), map[string]bool{a: true})
-		card := o.Est.Estimate(q.Subquery(set))
+		card := o.estimate(q.Subquery(set))
 		bestCost := math.Inf(1)
 		var bestNode *plan.Node
 		for _, op := range []plan.Op{plan.HashJoin, plan.MergeJoin, plan.NestedLoopJoin} {

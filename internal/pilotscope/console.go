@@ -1,10 +1,12 @@
 package pilotscope
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
 
+	"lqo/internal/guard"
 	"lqo/internal/query"
 	"lqo/internal/sqlx"
 )
@@ -36,14 +38,26 @@ func (t InjectionType) String() string {
 // InitContext is handed to Driver.Init: the interactor plus the training
 // workload the database user registered for the task.
 type InitContext struct {
+	// Ctx bounds the whole Init (training) phase; nil means Background.
+	Ctx      context.Context
 	DB       DB
 	Workload []string // SQL statements
 	Seed     int64
 }
 
+// Context returns the init deadline context, defaulting to Background.
+func (c *InitContext) Context() context.Context {
+	if c.Ctx == nil {
+		return context.Background()
+	}
+	return c.Ctx
+}
+
 // Driver packages one AI4DB task, mirroring the paper's programming model:
 // Init prepares and trains (collecting data through pull operators), and
 // Algo is invoked per query to steer the database through push operators.
+// Algo receives the query's context: a driver's steering work counts
+// against the same deadline as the query itself.
 type Driver interface {
 	// Name identifies the driver.
 	Name() string
@@ -52,7 +66,7 @@ type Driver interface {
 	// Init collects training data and fits the driver's models.
 	Init(ctx *InitContext) error
 	// Algo steers the session for sess.Query via push/pull operators.
-	Algo(sess *Session) error
+	Algo(ctx context.Context, sess *Session) error
 }
 
 // Updater is optionally implemented by drivers whose models track
@@ -64,21 +78,33 @@ type Updater interface {
 // Console operates the whole middleware: it manages drivers, creates a
 // session per interaction, and makes driver execution transparent to the
 // database user — ExecuteSQL looks exactly like talking to the database.
+//
+// The console is the middleware's guardrail boundary: every driver call
+// (Init, Algo, Update) runs under panic isolation, and a per-driver
+// circuit breaker stops consulting a driver that keeps failing, re-probing
+// with exponential backoff. A misbehaving driver can therefore never take
+// the database down — queries always execute, natively if need be.
 type Console struct {
 	db       DB
 	mu       sync.Mutex
 	drivers  map[string]Driver
+	breakers map[string]*guard.Breaker
 	active   Driver
 	workload []string
 	seed     int64
-	// Overhead counters for E7.
+	// BreakerCfg tunes the per-driver circuit breakers; the zero value
+	// selects guard's defaults. Set before RegisterDriver.
+	BreakerCfg guard.BreakerConfig
+	// Overhead counters for E7/E10.
 	QueriesServed  int
-	DriverFailures int
+	DriverFailures int // driver errors (including recovered panics)
+	DriverPanics   int // subset of failures that were panics
+	BreakerSkips   int // queries served natively because the breaker was open
 }
 
 // NewConsole returns a console over the interactor.
 func NewConsole(db DB, seed int64) *Console {
-	return &Console{db: db, drivers: map[string]Driver{}, seed: seed}
+	return &Console{db: db, drivers: map[string]Driver{}, breakers: map[string]*guard.Breaker{}, seed: seed}
 }
 
 // RegisterDriver adds a driver to the console.
@@ -86,6 +112,9 @@ func (c *Console) RegisterDriver(d Driver) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.drivers[d.Name()] = d
+	if _, ok := c.breakers[d.Name()]; !ok {
+		c.breakers[d.Name()] = guard.NewBreaker(c.BreakerCfg)
+	}
 }
 
 // Drivers lists registered driver names.
@@ -100,6 +129,13 @@ func (c *Console) Drivers() []string {
 	return out
 }
 
+// Breaker returns the named driver's circuit breaker, or nil.
+func (c *Console) Breaker(name string) *guard.Breaker {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.breakers[name]
+}
+
 // SetWorkload registers the training workload drivers may learn from.
 func (c *Console) SetWorkload(sqls []string) {
 	c.mu.Lock()
@@ -108,8 +144,10 @@ func (c *Console) SetWorkload(sqls []string) {
 }
 
 // StartTask initializes and activates the named driver. Passing "" (or
-// StopTask) deactivates — the database runs natively.
-func (c *Console) StartTask(name string) error {
+// StopTask) deactivates — the database runs natively. A panic inside the
+// driver's Init is recovered and reported as the returned error; the
+// console stays fully operational.
+func (c *Console) StartTask(ctx context.Context, name string) error {
 	if name == "" {
 		return c.StopTask()
 	}
@@ -121,7 +159,10 @@ func (c *Console) StartTask(name string) error {
 	if !ok {
 		return fmt.Errorf("pilotscope: no driver %q", name)
 	}
-	if err := d.Init(&InitContext{DB: c.db, Workload: workload, Seed: seed}); err != nil {
+	err := guard.Safe(name+".Init", func() error {
+		return d.Init(&InitContext{Ctx: ctx, DB: c.db, Workload: workload, Seed: seed})
+	})
+	if err != nil {
 		return fmt.Errorf("pilotscope: init %s: %w", name, err)
 	}
 	c.mu.Lock()
@@ -148,10 +189,43 @@ func (c *Console) ActiveDriver() string {
 	return c.active.Name()
 }
 
+// consult runs the active driver's Algo for sess under panic isolation
+// and the driver's circuit breaker, updating failure accounting. On any
+// driver failure the session is reset so the query runs natively.
+func (c *Console) consult(ctx context.Context, d Driver, sess *Session) {
+	c.mu.Lock()
+	br := c.breakers[d.Name()]
+	c.mu.Unlock()
+	if br != nil && !br.Allow() {
+		c.mu.Lock()
+		c.BreakerSkips++
+		c.mu.Unlock()
+		return
+	}
+	err := guard.Safe(d.Name()+".Algo", func() error { return d.Algo(ctx, sess) })
+	if err != nil {
+		c.mu.Lock()
+		c.DriverFailures++
+		if _, isPanic := err.(*guard.PanicError); isPanic {
+			c.DriverPanics++
+		}
+		c.mu.Unlock()
+		if br != nil {
+			br.Failure()
+		}
+		sess.Reset()
+		return
+	}
+	if br != nil {
+		br.Success()
+	}
+}
+
 // ExecuteSQL is the database user's entry point: the active driver (if
-// any) is consulted transparently; on driver failure the query still runs
-// natively — the middleware never breaks the database.
-func (c *Console) ExecuteSQL(sql string) (*Result, error) {
+// any) is consulted transparently; on driver failure — error or panic —
+// the query still runs natively. The middleware never breaks the
+// database.
+func (c *Console) ExecuteSQL(ctx context.Context, sql string) (*Result, error) {
 	c.mu.Lock()
 	d := c.active
 	c.QueriesServed++
@@ -165,20 +239,15 @@ func (c *Console) ExecuteSQL(sql string) (*Result, error) {
 				return nil, err
 			}
 			sess.Query = q
-			if err := d.Algo(sess); err != nil {
-				c.mu.Lock()
-				c.DriverFailures++
-				c.mu.Unlock()
-				sess.Reset()
-			}
-			return c.db.ExecuteQuery(sess, q)
+			c.consult(ctx, d, sess)
+			return c.db.ExecuteQuery(ctx, sess, q)
 		}
 	}
-	return c.db.ExecuteSQL(sess, sql)
+	return c.db.ExecuteSQL(ctx, sess, sql)
 }
 
 // ExecuteQuery is ExecuteSQL for pre-parsed queries.
-func (c *Console) ExecuteQuery(q *query.Query) (*Result, error) {
+func (c *Console) ExecuteQuery(ctx context.Context, q *query.Query) (*Result, error) {
 	c.mu.Lock()
 	d := c.active
 	c.QueriesServed++
@@ -186,20 +255,16 @@ func (c *Console) ExecuteQuery(q *query.Query) (*Result, error) {
 
 	sess := &Session{Query: q}
 	if d != nil {
-		if err := d.Algo(sess); err != nil {
-			c.mu.Lock()
-			c.DriverFailures++
-			c.mu.Unlock()
-			sess.Reset()
-		}
+		c.consult(ctx, d, sess)
 	}
-	return c.db.ExecuteQuery(sess, q)
+	return c.db.ExecuteQuery(ctx, sess, q)
 }
 
 // UpdateModels synchronously triggers the active driver's model update if
 // it implements Updater (the paper runs this in the background; the
 // workbench exposes a deterministic trigger plus StartBackgroundUpdater).
-func (c *Console) UpdateModels() error {
+// A panic inside Update is recovered into the returned error.
+func (c *Console) UpdateModels(ctx context.Context) error {
 	c.mu.Lock()
 	d := c.active
 	workload := append([]string(nil), c.workload...)
@@ -212,7 +277,9 @@ func (c *Console) UpdateModels() error {
 	if !ok {
 		return nil
 	}
-	return u.Update(&InitContext{DB: c.db, Workload: workload, Seed: seed})
+	return guard.Safe(d.Name()+".Update", func() error {
+		return u.Update(&InitContext{Ctx: ctx, DB: c.db, Workload: workload, Seed: seed})
+	})
 }
 
 // StartBackgroundUpdater launches a goroutine that calls UpdateModels
@@ -225,7 +292,7 @@ func (c *Console) StartBackgroundUpdater(trigger <-chan struct{}) <-chan struct{
 		for range trigger {
 			// Errors are swallowed by design: background staleness must
 			// never take the database down.
-			_ = c.UpdateModels()
+			_ = c.UpdateModels(context.Background())
 		}
 	}()
 	return done

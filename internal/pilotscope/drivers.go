@@ -1,12 +1,14 @@
 package pilotscope
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"lqo/internal/cardest"
 	"lqo/internal/costmodel"
 	"lqo/internal/data"
+	"lqo/internal/metrics"
 	"lqo/internal/plan"
 	"lqo/internal/query"
 	"lqo/internal/sqlx"
@@ -40,13 +42,14 @@ func (d *CardEstDriver) Injection() InjectionType { return InjectCardinalities }
 // workload's sub-queries through PullTrueCard, and train the estimator.
 func (d *CardEstDriver) Init(ctx *InitContext) error {
 	d.db = ctx.DB
+	ic := ctx.Context()
 	sess := &Session{}
-	catAny, err := ctx.DB.Pull(sess, PullCatalog, nil)
+	catAny, err := ctx.DB.Pull(ic, sess, PullCatalog, nil)
 	if err != nil {
 		return err
 	}
 	cat := catAny.(*data.Catalog)
-	statsAny, err := ctx.DB.Pull(sess, PullStats, nil)
+	statsAny, err := ctx.DB.Pull(ic, sess, PullStats, nil)
 	if err != nil {
 		return err
 	}
@@ -54,11 +57,14 @@ func (d *CardEstDriver) Init(ctx *InitContext) error {
 
 	var train []cardest.Sample
 	for _, sql := range ctx.Workload {
+		if err := ic.Err(); err != nil {
+			return err
+		}
 		q, err := sqlx.Parse(sql, cat)
 		if err != nil {
 			continue
 		}
-		cardAny, err := ctx.DB.Pull(sess, PullTrueCard, q)
+		cardAny, err := ctx.DB.Pull(ic, sess, PullTrueCard, q)
 		if err != nil {
 			continue
 		}
@@ -68,20 +74,23 @@ func (d *CardEstDriver) Init(ctx *InitContext) error {
 }
 
 // Algo implements Driver: estimate every connected sub-query of the
-// session's query and push the batch.
-func (d *CardEstDriver) Algo(sess *Session) error {
+// session's query and push the batch. Estimates are clamped before they
+// leave the driver — a learned model emitting NaN/Inf/non-positive
+// outliers (the failure mode Wang et al. document) must never hand the
+// cost model a non-finite value.
+func (d *CardEstDriver) Algo(ctx context.Context, sess *Session) error {
 	if sess.Query == nil {
 		return fmt.Errorf("pilotscope: cardest driver needs sess.Query")
 	}
-	subsAny, err := d.db.Pull(sess, PullSubqueries, sess.Query)
+	subsAny, err := d.db.Pull(ctx, sess, PullSubqueries, sess.Query)
 	if err != nil {
 		return err
 	}
 	cards := map[string]float64{}
 	for _, sub := range subsAny.([]*query.Query) {
-		cards[sub.Key()] = d.Estimator.Estimate(sub)
+		cards[sub.Key()] = metrics.ClampCard(d.Estimator.Estimate(sub))
 	}
-	return d.db.Push(sess, PushCards, cards)
+	return d.db.Push(ctx, sess, PushCards, cards)
 }
 
 // Update implements Updater: retrain on the (possibly changed) database.
@@ -114,12 +123,13 @@ func (d *BaoDriver) Injection() InjectionType { return InjectPlan }
 // Init implements Driver.
 func (d *BaoDriver) Init(ctx *InitContext) error {
 	d.db = ctx.DB
-	catAny, err := ctx.DB.Pull(&Session{}, PullCatalog, nil)
+	ic := ctx.Context()
+	catAny, err := ctx.DB.Pull(ic, &Session{}, PullCatalog, nil)
 	if err != nil {
 		return err
 	}
 	cat := catAny.(*data.Catalog)
-	statsAny, err := ctx.DB.Pull(&Session{}, PullStats, nil)
+	statsAny, err := ctx.DB.Pull(ic, &Session{}, PullStats, nil)
 	if err != nil {
 		return err
 	}
@@ -127,6 +137,9 @@ func (d *BaoDriver) Init(ctx *InitContext) error {
 
 	var exp []costmodel.TrainPlan
 	for _, sql := range ctx.Workload {
+		if err := ic.Err(); err != nil {
+			return err
+		}
 		q, err := sqlx.Parse(sql, cat)
 		if err != nil {
 			continue
@@ -134,10 +147,10 @@ func (d *BaoDriver) Init(ctx *InitContext) error {
 		seen := map[string]bool{}
 		for _, h := range d.Arms {
 			sess := &Session{Query: q}
-			if err := ctx.DB.Push(sess, PushHints, h); err != nil {
+			if err := ctx.DB.Push(ic, sess, PushHints, h); err != nil {
 				return err
 			}
-			planAny, err := ctx.DB.Pull(sess, PullPlan, q)
+			planAny, err := ctx.DB.Pull(ic, sess, PullPlan, q)
 			if err != nil {
 				continue
 			}
@@ -146,7 +159,7 @@ func (d *BaoDriver) Init(ctx *InitContext) error {
 				continue
 			}
 			seen[p.Fingerprint()] = true
-			res, err := ctx.DB.ExecuteQuery(sess, q)
+			res, err := ctx.DB.ExecuteQuery(ic, sess, q)
 			if err != nil {
 				continue
 			}
@@ -158,7 +171,7 @@ func (d *BaoDriver) Init(ctx *InitContext) error {
 
 // Algo implements Driver: pull each arm's plan, predict, push the winner's
 // hints.
-func (d *BaoDriver) Algo(sess *Session) error {
+func (d *BaoDriver) Algo(ctx context.Context, sess *Session) error {
 	if sess.Query == nil {
 		return fmt.Errorf("pilotscope: bao driver needs sess.Query")
 	}
@@ -166,10 +179,10 @@ func (d *BaoDriver) Algo(sess *Session) error {
 	var bestHints plan.HintSet
 	for _, h := range d.Arms {
 		probe := &Session{Query: sess.Query}
-		if err := d.db.Push(probe, PushHints, h); err != nil {
+		if err := d.db.Push(ctx, probe, PushHints, h); err != nil {
 			return err
 		}
-		planAny, err := d.db.Pull(probe, PullPlan, sess.Query)
+		planAny, err := d.db.Pull(ctx, probe, PullPlan, sess.Query)
 		if err != nil {
 			continue
 		}
@@ -177,7 +190,7 @@ func (d *BaoDriver) Algo(sess *Session) error {
 			best, bestHints = v, h
 		}
 	}
-	return d.db.Push(sess, PushHints, bestHints)
+	return d.db.Push(ctx, sess, PushHints, bestHints)
 }
 
 // LeroDriver is the tutorial's Lero sample application [79]: Init executes
@@ -226,12 +239,13 @@ func (d *LeroDriver) Injection() InjectionType { return InjectPlan }
 // Init implements Driver.
 func (d *LeroDriver) Init(ctx *InitContext) error {
 	d.db = ctx.DB
-	catAny, err := ctx.DB.Pull(&Session{}, PullCatalog, nil)
+	ic := ctx.Context()
+	catAny, err := ctx.DB.Pull(ic, &Session{}, PullCatalog, nil)
 	if err != nil {
 		return err
 	}
 	cat := catAny.(*data.Catalog)
-	statsAny, err := ctx.DB.Pull(&Session{}, PullStats, nil)
+	statsAny, err := ctx.DB.Pull(ic, &Session{}, PullStats, nil)
 	if err != nil {
 		return err
 	}
@@ -239,6 +253,9 @@ func (d *LeroDriver) Init(ctx *InitContext) error {
 
 	var exp []costmodel.TrainPlan
 	for _, sql := range ctx.Workload {
+		if err := ic.Err(); err != nil {
+			return err
+		}
 		q, err := sqlx.Parse(sql, cat)
 		if err != nil {
 			continue
@@ -246,10 +263,10 @@ func (d *LeroDriver) Init(ctx *InitContext) error {
 		seen := map[string]bool{}
 		for _, f := range d.Factors {
 			sess := &Session{Query: q}
-			if err := ctx.DB.Push(sess, PushCardScale, f); err != nil {
+			if err := ctx.DB.Push(ic, sess, PushCardScale, f); err != nil {
 				return err
 			}
-			planAny, err := ctx.DB.Pull(sess, PullPlan, q)
+			planAny, err := ctx.DB.Pull(ic, sess, PullPlan, q)
 			if err != nil {
 				continue
 			}
@@ -258,7 +275,7 @@ func (d *LeroDriver) Init(ctx *InitContext) error {
 				continue
 			}
 			seen[p.Fingerprint()] = true
-			res, err := ctx.DB.ExecuteQuery(sess, q)
+			res, err := ctx.DB.ExecuteQuery(ic, sess, q)
 			if err != nil {
 				continue
 			}
@@ -269,7 +286,7 @@ func (d *LeroDriver) Init(ctx *InitContext) error {
 }
 
 // Algo implements Driver.
-func (d *LeroDriver) Algo(sess *Session) error {
+func (d *LeroDriver) Algo(ctx context.Context, sess *Session) error {
 	if sess.Query == nil {
 		return fmt.Errorf("pilotscope: lero driver needs sess.Query")
 	}
@@ -281,10 +298,10 @@ func (d *LeroDriver) Algo(sess *Session) error {
 	seen := map[string]bool{}
 	for _, f := range d.Factors {
 		probe := &Session{Query: sess.Query}
-		if err := d.db.Push(probe, PushCardScale, f); err != nil {
+		if err := d.db.Push(ctx, probe, PushCardScale, f); err != nil {
 			return err
 		}
-		planAny, err := d.db.Pull(probe, PullPlan, sess.Query)
+		planAny, err := d.db.Pull(ctx, probe, PullPlan, sess.Query)
 		if err != nil {
 			continue
 		}
@@ -309,5 +326,5 @@ func (d *LeroDriver) Algo(sess *Session) error {
 			bestWins, best = wins, c
 		}
 	}
-	return d.db.Push(sess, PushCardScale, best.factor)
+	return d.db.Push(ctx, sess, PushCardScale, best.factor)
 }

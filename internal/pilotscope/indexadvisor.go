@@ -1,6 +1,7 @@
 package pilotscope
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -44,7 +45,8 @@ func (d *IndexAdvisorDriver) Injection() InjectionType { return InjectPlan }
 
 // Init implements Driver: mine the workload, recommend, and push builds.
 func (d *IndexAdvisorDriver) Init(ctx *InitContext) error {
-	catAny, err := ctx.DB.Pull(&Session{}, PullCatalog, nil)
+	ic := ctx.Context()
+	catAny, err := ctx.DB.Pull(ic, &Session{}, PullCatalog, nil)
 	if err != nil {
 		return err
 	}
@@ -90,7 +92,7 @@ func (d *IndexAdvisorDriver) Init(ctx *InitContext) error {
 	}
 	d.recommended = d.recommended[:0]
 	for _, c := range cands {
-		if err := ctx.DB.Push(&Session{}, PushIndex, c.spec); err != nil {
+		if err := ctx.DB.Push(ic, &Session{}, PushIndex, c.spec); err != nil {
 			return fmt.Errorf("pilotscope: building index %s.%s: %w", c.spec.Table, c.spec.Column, err)
 		}
 		d.recommended = append(d.recommended, c.spec)
@@ -99,7 +101,7 @@ func (d *IndexAdvisorDriver) Init(ctx *InitContext) error {
 }
 
 // Algo implements Driver: physical design needs no per-query action.
-func (d *IndexAdvisorDriver) Algo(sess *Session) error { return nil }
+func (d *IndexAdvisorDriver) Algo(ctx context.Context, sess *Session) error { return nil }
 
 // Recommended returns the indexes the advisor built.
 func (d *IndexAdvisorDriver) Recommended() []IndexSpec {

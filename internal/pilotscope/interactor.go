@@ -7,12 +7,14 @@
 package pilotscope
 
 import (
+	"context"
 	"fmt"
 
 	"lqo/internal/cardest"
 	"lqo/internal/cost"
 	"lqo/internal/data"
 	"lqo/internal/exec"
+	"lqo/internal/metrics"
 	"lqo/internal/opt"
 	"lqo/internal/plan"
 	"lqo/internal/query"
@@ -91,17 +93,20 @@ func (s *Session) Reset() {
 // DB is the interactor interface: the unified bridge drivers use to steer
 // any database. The workbench ships the engine implementation; a real
 // deployment would implement the same interface as lightweight patches on
-// PostgreSQL et al.
+// PostgreSQL et al. Every method takes a context: deadlines and
+// cancellation flow from the database user through the middleware into
+// planning and execution, so a driver can never hold a query past its
+// budget.
 type DB interface {
 	// Push enforces an action on the session.
-	Push(sess *Session, kind PushKind, payload any) error
+	Push(ctx context.Context, sess *Session, kind PushKind, payload any) error
 	// Pull acquires data from the database.
-	Pull(sess *Session, kind PullKind, payload any) (any, error)
+	Pull(ctx context.Context, sess *Session, kind PullKind, payload any) (any, error)
 	// ExecuteSQL parses, optimizes (honoring the session's pushed state)
 	// and executes a SQL statement.
-	ExecuteSQL(sess *Session, sql string) (*Result, error)
+	ExecuteSQL(ctx context.Context, sess *Session, sql string) (*Result, error)
 	// ExecuteQuery is ExecuteSQL for an already-parsed query.
-	ExecuteQuery(sess *Session, q *query.Query) (*Result, error)
+	ExecuteQuery(ctx context.Context, sess *Session, q *query.Query) (*Result, error)
 }
 
 // Engine is the DB-interactor implementation over the workbench engine.
@@ -132,7 +137,10 @@ func NewEngine(cat *data.Catalog, seed int64) (*Engine, error) {
 }
 
 // Push implements DB.
-func (e *Engine) Push(sess *Session, kind PushKind, payload any) error {
+func (e *Engine) Push(ctx context.Context, sess *Session, kind PushKind, payload any) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	switch kind {
 	case PushHints:
 		h, ok := payload.(plan.HintSet)
@@ -177,7 +185,10 @@ func (e *Engine) Push(sess *Session, kind PushKind, payload any) error {
 }
 
 // Pull implements DB.
-func (e *Engine) Pull(sess *Session, kind PullKind, payload any) (any, error) {
+func (e *Engine) Pull(ctx context.Context, sess *Session, kind PullKind, payload any) (any, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	switch kind {
 	case PullStats:
 		return e.Stats, nil
@@ -188,13 +199,13 @@ func (e *Engine) Pull(sess *Session, kind PullKind, payload any) (any, error) {
 		if !ok {
 			return nil, fmt.Errorf("pilotscope: PullTrueCard wants *query.Query, got %T", payload)
 		}
-		return e.cache.TrueCard(q)
+		return e.cache.TrueCardCtx(ctx, q)
 	case PullPlan:
 		q, ok := payload.(*query.Query)
 		if !ok {
 			return nil, fmt.Errorf("pilotscope: PullPlan wants *query.Query, got %T", payload)
 		}
-		return e.optimize(sess, q)
+		return e.optimize(ctx, sess, q)
 	case PullSubqueries:
 		q, ok := payload.(*query.Query)
 		if !ok {
@@ -224,18 +235,22 @@ type injectedEstimator struct {
 	scale float64
 }
 
-// Estimate implements opt.CardEstimator.
+// Estimate implements opt.CardEstimator. Every value leaving here — an
+// injected cardinality or a (possibly scaled) base estimate — is clamped
+// to sane bounds: a learned estimator pushing NaN/Inf/negative garbage
+// degrades plan quality, never cost-model arithmetic (mirrors the
+// metrics.QError clamp).
 func (ie *injectedEstimator) Estimate(q *query.Query) float64 {
 	if ie.cards != nil {
 		if c, ok := ie.cards[q.Key()]; ok {
-			return c
+			return metrics.ClampCard(c)
 		}
 	}
 	c := ie.base.Estimate(q)
 	if ie.scale > 0 && ie.scale != 1 && len(q.Refs) > 1 {
 		c *= pow(ie.scale, len(q.Refs)-1)
 	}
-	return c
+	return metrics.ClampCard(c)
 }
 
 func pow(f float64, k int) float64 {
@@ -247,7 +262,7 @@ func pow(f float64, k int) float64 {
 }
 
 // optimize plans q under the session's pushed state.
-func (e *Engine) optimize(sess *Session, q *query.Query) (*plan.Node, error) {
+func (e *Engine) optimize(ctx context.Context, sess *Session, q *query.Query) (*plan.Node, error) {
 	if sess != nil && sess.forced != nil {
 		return sess.forced, nil
 	}
@@ -260,25 +275,27 @@ func (e *Engine) optimize(sess *Session, q *query.Query) (*plan.Node, error) {
 			o = o.WithHints(*sess.hints)
 		}
 	}
-	return o.Optimize(q)
+	return o.OptimizeCtx(ctx, q)
 }
 
 // ExecuteSQL implements DB.
-func (e *Engine) ExecuteSQL(sess *Session, sql string) (*Result, error) {
+func (e *Engine) ExecuteSQL(ctx context.Context, sess *Session, sql string) (*Result, error) {
 	q, err := sqlx.Parse(sql, e.Cat)
 	if err != nil {
 		return nil, err
 	}
-	return e.ExecuteQuery(sess, q)
+	return e.ExecuteQuery(ctx, sess, q)
 }
 
-// ExecuteQuery implements DB.
-func (e *Engine) ExecuteQuery(sess *Session, q *query.Query) (*Result, error) {
-	p, err := e.optimize(sess, q)
+// ExecuteQuery implements DB. Planning and execution both run under ctx:
+// a deadline bounds the whole query, and cancellation mid-scan or
+// mid-probe aborts with ctx.Err().
+func (e *Engine) ExecuteQuery(ctx context.Context, sess *Session, q *query.Query) (*Result, error) {
+	p, err := e.optimize(ctx, sess, q)
 	if err != nil {
 		return nil, err
 	}
-	res, err := e.Ex.Run(q, p)
+	res, err := e.Ex.RunCtx(ctx, q, p)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package pilotscope
 
 import (
+	"context"
 	"testing"
 
 	"lqo/internal/cardest"
@@ -44,7 +45,7 @@ func getWorld(t *testing.T) *world {
 
 func TestEngineExecuteSQLNative(t *testing.T) {
 	w := getWorld(t)
-	res, err := w.eng.ExecuteSQL(&Session{}, w.test[0])
+	res, err := w.eng.ExecuteSQL(context.Background(), &Session{}, w.test[0])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,27 +58,27 @@ func TestPushPullRoundTrip(t *testing.T) {
 	w := getWorld(t)
 	sess := &Session{}
 	// Pull catalog and stats.
-	catAny, err := w.eng.Pull(sess, PullCatalog, nil)
+	catAny, err := w.eng.Pull(context.Background(), sess, PullCatalog, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if catAny != w.eng.Cat {
 		t.Fatal("PullCatalog identity")
 	}
-	if _, err := w.eng.Pull(sess, PullStats, nil); err != nil {
+	if _, err := w.eng.Pull(context.Background(), sess, PullStats, nil); err != nil {
 		t.Fatal(err)
 	}
 	// Push hints changes the plan when operators are restricted.
 	q := mustParse(t, w, w.test[1])
-	planAny, err := w.eng.Pull(sess, PullPlan, q)
+	planAny, err := w.eng.Pull(context.Background(), sess, PullPlan, q)
 	if err != nil {
 		t.Fatal(err)
 	}
 	free := planAny.(*plan.Node)
-	if err := w.eng.Push(sess, PushHints, plan.HintSet{NoHashJoin: true, NoMergeJoin: true}); err != nil {
+	if err := w.eng.Push(context.Background(), sess, PushHints, plan.HintSet{NoHashJoin: true, NoMergeJoin: true}); err != nil {
 		t.Fatal(err)
 	}
-	planAny2, err := w.eng.Pull(sess, PullPlan, q)
+	planAny2, err := w.eng.Pull(context.Background(), sess, PullPlan, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,10 +90,10 @@ func TestPushPullRoundTrip(t *testing.T) {
 	})
 	_ = free
 	// Bad payloads error.
-	if err := w.eng.Push(sess, PushHints, 42); err == nil {
+	if err := w.eng.Push(context.Background(), sess, PushHints, 42); err == nil {
 		t.Fatal("bad hint payload accepted")
 	}
-	if _, err := w.eng.Pull(sess, PullTrueCard, "not a query"); err == nil {
+	if _, err := w.eng.Pull(context.Background(), sess, PullTrueCard, "not a query"); err == nil {
 		t.Fatal("bad pull payload accepted")
 	}
 }
@@ -113,10 +114,10 @@ func TestPushCardsInjection(t *testing.T) {
 	// Inject an absurd cardinality for the full query's key and verify the
 	// plan annotation reflects it.
 	cards := map[string]float64{q.Key(): 123456}
-	if err := w.eng.Push(sess, PushCards, cards); err != nil {
+	if err := w.eng.Push(context.Background(), sess, PushCards, cards); err != nil {
 		t.Fatal(err)
 	}
-	planAny, err := w.eng.Pull(sess, PullPlan, q)
+	planAny, err := w.eng.Pull(context.Background(), sess, PullPlan, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,12 +159,12 @@ func TestConsoleTransparentExecution(t *testing.T) {
 	if err := w.console.StopTask(); err != nil {
 		t.Fatal(err)
 	}
-	res, err := w.console.ExecuteSQL(w.test[0])
+	res, err := w.console.ExecuteSQL(context.Background(), w.test[0])
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Native result must match driver-less engine execution.
-	direct, err := w.eng.ExecuteSQL(&Session{}, w.test[0])
+	direct, err := w.eng.ExecuteSQL(context.Background(), &Session{}, w.test[0])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +177,7 @@ func TestCardEstDriverEndToEnd(t *testing.T) {
 	w := getWorld(t)
 	d := NewCardEstDriver(cardest.NewGBDTEstimator())
 	w.console.RegisterDriver(d)
-	if err := w.console.StartTask(d.Name()); err != nil {
+	if err := w.console.StartTask(context.Background(), d.Name()); err != nil {
 		t.Fatal(err)
 	}
 	defer func() {
@@ -188,11 +189,11 @@ func TestCardEstDriverEndToEnd(t *testing.T) {
 		t.Fatal("driver not active")
 	}
 	for _, sql := range w.test[:5] {
-		res, err := w.console.ExecuteSQL(sql)
+		res, err := w.console.ExecuteSQL(context.Background(), sql)
 		if err != nil {
 			t.Fatal(err)
 		}
-		direct, err := w.eng.ExecuteSQL(&Session{}, sql)
+		direct, err := w.eng.ExecuteSQL(context.Background(), &Session{}, sql)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -209,16 +210,16 @@ func TestBaoDriverEndToEnd(t *testing.T) {
 	w := getWorld(t)
 	d := NewBaoDriver()
 	w.console.RegisterDriver(d)
-	if err := w.console.StartTask("bao"); err != nil {
+	if err := w.console.StartTask(context.Background(), "bao"); err != nil {
 		t.Fatal(err)
 	}
 	defer func() { _ = w.console.StopTask() }()
 	for _, sql := range w.test[:5] {
-		res, err := w.console.ExecuteSQL(sql)
+		res, err := w.console.ExecuteSQL(context.Background(), sql)
 		if err != nil {
 			t.Fatal(err)
 		}
-		direct, _ := w.eng.ExecuteSQL(&Session{}, sql)
+		direct, _ := w.eng.ExecuteSQL(context.Background(), &Session{}, sql)
 		if res.Count != direct.Count {
 			t.Fatalf("bao driver changed results: %d vs %d", res.Count, direct.Count)
 		}
@@ -229,16 +230,16 @@ func TestLeroDriverEndToEnd(t *testing.T) {
 	w := getWorld(t)
 	d := NewLeroDriver()
 	w.console.RegisterDriver(d)
-	if err := w.console.StartTask("lero"); err != nil {
+	if err := w.console.StartTask(context.Background(), "lero"); err != nil {
 		t.Fatal(err)
 	}
 	defer func() { _ = w.console.StopTask() }()
 	for _, sql := range w.test[:5] {
-		res, err := w.console.ExecuteSQL(sql)
+		res, err := w.console.ExecuteSQL(context.Background(), sql)
 		if err != nil {
 			t.Fatal(err)
 		}
-		direct, _ := w.eng.ExecuteSQL(&Session{}, sql)
+		direct, _ := w.eng.ExecuteSQL(context.Background(), &Session{}, sql)
 		if res.Count != direct.Count {
 			t.Fatalf("lero driver changed results: %d vs %d", res.Count, direct.Count)
 		}
@@ -247,7 +248,7 @@ func TestLeroDriverEndToEnd(t *testing.T) {
 
 func TestStartUnknownTask(t *testing.T) {
 	w := getWorld(t)
-	if err := w.console.StartTask("doesnotexist"); err == nil {
+	if err := w.console.StartTask(context.Background(), "doesnotexist"); err == nil {
 		t.Fatal("unknown task accepted")
 	}
 }
@@ -266,7 +267,7 @@ func TestBackgroundUpdater(t *testing.T) {
 	w := getWorld(t)
 	d := NewCardEstDriver(cardest.NewHistogramEstimator())
 	w.console.RegisterDriver(d)
-	if err := w.console.StartTask(d.Name()); err != nil {
+	if err := w.console.StartTask(context.Background(), d.Name()); err != nil {
 		t.Fatal(err)
 	}
 	defer func() { _ = w.console.StopTask() }()
@@ -277,7 +278,7 @@ func TestBackgroundUpdater(t *testing.T) {
 	close(trigger)
 	<-done
 	// Synchronous update also works.
-	if err := w.console.UpdateModels(); err != nil {
+	if err := w.console.UpdateModels(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -296,7 +297,7 @@ func TestIndexAdvisorDriver(t *testing.T) {
 	// Baseline latency before advising.
 	var before float64
 	for _, sql := range qs {
-		res, err := console.ExecuteSQL(sql)
+		res, err := console.ExecuteSQL(context.Background(), sql)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -305,7 +306,7 @@ func TestIndexAdvisorDriver(t *testing.T) {
 	d := NewIndexAdvisorDriver()
 	d.MinUses = 2
 	console.RegisterDriver(d)
-	if err := console.StartTask(d.Name()); err != nil {
+	if err := console.StartTask(context.Background(), d.Name()); err != nil {
 		t.Fatal(err)
 	}
 	recs := d.Recommended()
@@ -321,7 +322,7 @@ func TestIndexAdvisorDriver(t *testing.T) {
 	// be slower overall (index scans replace seq scans where selective).
 	var after float64
 	for _, sql := range qs {
-		res, err := console.ExecuteSQL(sql)
+		res, err := console.ExecuteSQL(context.Background(), sql)
 		if err != nil {
 			t.Fatal(err)
 		}

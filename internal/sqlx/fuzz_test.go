@@ -1,0 +1,58 @@
+package sqlx
+
+import (
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzParse pins the parser's robustness contract: arbitrary input —
+// malformed SQL, truncated tokens, garbage bytes — either parses into a
+// query that satisfies basic invariants or returns an error. It must
+// never panic; the parser sits on the middleware's user-facing boundary
+// where a crash would take the whole database down.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT COUNT(*) FROM items;",
+		"SELECT COUNT(*) FROM items WHERE items.score > 10;",
+		"SELECT COUNT(*) FROM items, orders WHERE items.id = orders.item_id AND items.price >= 1.5;",
+		"SELECT COUNT(*) FROM items i, orders o WHERE i.id = o.item_id AND i.name = 'ann';",
+		"SELECT COUNT(*) FROM items WHERE items.score BETWEEN 0 AND 30;",
+		// Malformed shapes that must error, not crash.
+		"",
+		";",
+		"SELECT",
+		"SELECT COUNT(*) FROM",
+		"SELECT COUNT(*) FROM items WHERE",
+		"SELECT COUNT(*) FROM items WHERE items.score >",
+		"SELECT COUNT(*) FROM nosuch;",
+		"SELECT COUNT(*) FROM items WHERE items.nosuch = 1;",
+		"SELECT COUNT(*) FROM items WHERE items.name = 'unterminated",
+		"SELECT COUNT(*) FROM items WHERE items.score = 99999999999999999999999999;",
+		"select count(*) from items where items.score != 10;",
+		"SELECT * FROM items",
+		"\x00\xff\xfe",
+		"SELECT COUNT(*) FROM items -- comment",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	cat := testCatalog()
+	f.Fuzz(func(t *testing.T, sql string) {
+		q, err := Parse(sql, cat)
+		if err != nil {
+			return // rejection is fine; panicking is the only failure
+		}
+		if q == nil {
+			t.Fatalf("Parse(%q) returned nil query and nil error", sql)
+		}
+		if len(q.Refs) == 0 {
+			t.Fatalf("Parse(%q) accepted a query with no table refs", sql)
+		}
+		// Accepted queries must round-trip through their own SQL form.
+		if utf8.ValidString(sql) {
+			if _, err := Parse(q.SQL(), cat); err != nil {
+				t.Fatalf("accepted query does not re-parse: %q -> %q: %v", sql, q.SQL(), err)
+			}
+		}
+	})
+}
