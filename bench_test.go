@@ -122,7 +122,7 @@ func BenchmarkE8Ablations(b *testing.B) {
 func BenchmarkE9Throughput(b *testing.B) {
 	env := sharedEnv(b)
 	for i := 0; i < b.N; i++ {
-		rep, err := bench.E9Throughput(env, []int{1, 4, 8}, 0, 1)
+		rep, err := bench.E9Throughput(env, []int{1, 4, 8}, 0, 1, 0)
 		report(b, rep, err)
 	}
 }

@@ -31,6 +31,7 @@ func main() {
 		parallel    = flag.Int("parallel", 8, "E9 goroutine count, compared against a serial run")
 		execWorkers = flag.Int("exec-workers", 0, "E9 intra-query executor workers per goroutine (0 = serial operators)")
 		repeatFlag  = flag.Int("repeat", 3, "E9 passes over the workload per measurement")
+		batchFlag   = flag.Int("batch", 0, "E9 executor batch size in tuples (0 = exec default); results are identical at every setting")
 
 		chaosFlag    = flag.Bool("chaos", false, "shorthand for -exp E10: guardrail runtime under fault injection")
 		chaosRates   = flag.String("chaos-rates", "0,0.01,0.10", "E10 comma-separated fault rates in [0,1]")
@@ -92,7 +93,7 @@ func main() {
 			if *parallel > 1 {
 				gs = append(gs, *parallel)
 			}
-			return bench.E9Throughput(env, gs, *execWorkers, *repeatFlag)
+			return bench.E9Throughput(env, gs, *execWorkers, *repeatFlag, *batchFlag)
 		}},
 		{"E10", func(env *bench.Env) (*bench.Report, error) {
 			return bench.E10Chaos(env, bench.ChaosOptions{Rates: rates, Timeout: *chaosTimeout, Hang: *chaosHang})

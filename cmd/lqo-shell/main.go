@@ -91,6 +91,8 @@ func dispatch(console *pilotscope.Console, eng *pilotscope.Engine, cat *data.Cat
 		fmt.Println(`commands:
   <SQL>;                 execute (COUNT/SUM/AVG/MIN/MAX over SPJ queries)
   EXPLAIN <SQL>;         show the chosen plan without executing
+  EXPLAIN ANALYZE <SQL>; execute and show per-operator est vs actual rows,
+                         work units and wall time
   \tables                list tables
   \schema <table>        show a table's columns and indexes
   \driver <name>|off     deploy a learned driver (trains on first use)
@@ -138,6 +140,15 @@ func dispatch(console *pilotscope.Console, eng *pilotscope.Engine, cat *data.Cat
 		} else {
 			fmt.Printf("driver %s active\n", name)
 		}
+	case strings.HasPrefix(strings.ToUpper(line), "EXPLAIN ANALYZE "):
+		sql := line[len("EXPLAIN ANALYZE "):]
+		rendered, res, err := eng.ExplainAnalyze(context.Background(), &pilotscope.Session{}, sql)
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		fmt.Print(rendered)
+		fmt.Printf("result: %v (%d rows aggregated, %.0f work units)\n", res.Value, res.Count, res.Latency)
 	case strings.HasPrefix(strings.ToUpper(line), "EXPLAIN "):
 		sql := line[len("EXPLAIN "):]
 		q, err := sqlx.Parse(sql, cat)

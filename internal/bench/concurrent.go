@@ -24,6 +24,10 @@ type ConcurrentOptions struct {
 	// Repeat runs the whole workload this many times (more samples for
 	// stable QPS numbers). <=0 means 1.
 	Repeat int
+	// BatchSize is the tuples-per-batch knob handed to each executor
+	// (Executor.BatchSize). <=0 means exec.DefaultBatchSize. Results are
+	// identical at every setting; only memory/wall-clock trade off.
+	BatchSize int
 	// Queries overrides the driven workload; nil means env.Test.
 	Queries []workload.Labeled
 }
@@ -93,6 +97,7 @@ func RunConcurrent(env *Env, opts ConcurrentOptions) (*ConcurrentResult, error) 
 			defer wg.Done()
 			ex := exec.New(env.Cat)
 			ex.Workers = opts.ExecWorkers
+			ex.BatchSize = opts.BatchSize
 			for {
 				si := int(next.Add(1)) - 1
 				if si >= total {
@@ -153,19 +158,21 @@ func WorkUnitsEqual(a, b *ConcurrentResult) bool {
 // E9Throughput measures concurrent throughput scaling: the test workload
 // driven at each goroutine count in gs, reporting QPS, wall-clock latency
 // quantiles, speedup over the serial run, and whether the per-query
-// WorkUnits stayed byte-identical (they must).
-func E9Throughput(env *Env, gs []int, execWorkers, repeat int) (*Report, error) {
+// WorkUnits stayed byte-identical (they must). batchSize sets the
+// executors' tuples-per-batch (<=0 = exec.DefaultBatchSize); it trades
+// memory against per-batch overhead and never changes results.
+func E9Throughput(env *Env, gs []int, execWorkers, repeat, batchSize int) (*Report, error) {
 	if repeat < 1 {
 		repeat = 1
 	}
 	r := &Report{
 		ID:     "E9",
-		Title:  fmt.Sprintf("Concurrent throughput, dataset=%s (N=%d×%d, exec workers=%d)", env.Name, len(env.Test), repeat, execWorkers),
+		Title:  fmt.Sprintf("Concurrent throughput, dataset=%s (N=%d×%d, exec workers=%d, batch=%d)", env.Name, len(env.Test), repeat, execWorkers, batchSize),
 		Header: []string{"goroutines", "qps", "speedup", "lat p50 ms", "lat p95 ms", "lat p99 ms", "workunits", "errors"},
 	}
 	var base *ConcurrentResult
 	for _, g := range gs {
-		res, err := RunConcurrent(env, ConcurrentOptions{Goroutines: g, ExecWorkers: execWorkers, Repeat: repeat})
+		res, err := RunConcurrent(env, ConcurrentOptions{Goroutines: g, ExecWorkers: execWorkers, Repeat: repeat, BatchSize: batchSize})
 		if err != nil {
 			return nil, err
 		}

@@ -26,6 +26,8 @@ func TestRunConcurrentDeterministicWorkUnits(t *testing.T) {
 		{Goroutines: 4},
 		{Goroutines: 8, ExecWorkers: 2},
 		{Goroutines: 2, Repeat: 2},
+		{Goroutines: 4, BatchSize: 1},
+		{Goroutines: 4, ExecWorkers: 2, BatchSize: 64},
 	} {
 		res, err := RunConcurrent(env, opts)
 		if err != nil {
@@ -55,7 +57,7 @@ func TestE9ThroughputReport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := E9Throughput(env, []int{1, 4}, 0, 1)
+	rep, err := E9Throughput(env, []int{1, 4}, 0, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

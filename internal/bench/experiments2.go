@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -15,7 +16,9 @@ import (
 
 // CollectPlans executes hint-steered candidate plans for the environment's
 // queries, producing the (plan, latency) corpus cost-model experiments
-// train on.
+// train on. Each example carries per-operator actuals from the pipeline's
+// telemetry, so sub-plan expansion (costmodel.ExpandSubPlans) can turn
+// one execution into a sample per sub-plan.
 func CollectPlans(env *Env, queries []workload.Labeled) ([]costmodel.TrainPlan, error) {
 	var out []costmodel.TrainPlan
 	for _, l := range queries {
@@ -24,11 +27,25 @@ func CollectPlans(env *Env, queries []workload.Labeled) ([]costmodel.TrainPlan, 
 			return nil, err
 		}
 		for _, p := range plans {
-			res, err := env.Ex.Run(l.Q, p)
+			res, pt, err := env.Ex.RunAnalyze(context.Background(), l.Q, p)
 			if err != nil {
 				continue
 			}
-			out = append(out, costmodel.TrainPlan{Q: l.Q, Plan: p, Latency: res.Stats.WorkUnits})
+			var perOp []costmodel.OpActual
+			p.Walk(func(n *plan.Node) {
+				t, ok := pt.ByNode(n)
+				if !ok {
+					return
+				}
+				perOp = append(perOp, costmodel.OpActual{
+					Node:        n,
+					Rows:        float64(t.RowsOut),
+					Work:        t.WorkUnits(),
+					SubtreeWork: pt.SubtreeWork(n),
+					Wall:        t.Wall,
+				})
+			})
+			out = append(out, costmodel.TrainPlan{Q: l.Q, Plan: p, Latency: res.Stats.WorkUnits, PerOp: perOp})
 		}
 	}
 	return out, nil

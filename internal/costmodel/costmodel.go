@@ -10,6 +10,7 @@ package costmodel
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"lqo/internal/cost"
 	"lqo/internal/data"
@@ -24,6 +25,43 @@ type TrainPlan struct {
 	Q       *query.Query
 	Plan    *plan.Node
 	Latency float64
+	// PerOp holds per-operator actuals from the executor's telemetry, when
+	// the collector ran with EXPLAIN ANALYZE-level instrumentation. Optional:
+	// models that only need the root label ignore it; sub-plan expansion
+	// (Neo-style training on sub-plan latencies) requires it.
+	PerOp []OpActual
+}
+
+// OpActual is one operator's measured execution evidence, the per-node
+// training feature the tutorial's diagnosis line calls for: what the
+// operator actually produced and what it actually cost.
+type OpActual struct {
+	Node        *plan.Node    // the plan node (aliases into TrainPlan.Plan)
+	Rows        float64       // actual output cardinality
+	Work        float64       // work units charged to this operator alone
+	SubtreeWork float64       // work units of the whole subtree — the sub-plan latency label
+	Wall        time.Duration // wall-clock inside the operator
+}
+
+// ExpandSubPlans turns one per-operator-instrumented example into a
+// sample per sub-plan: the root example plus, for every recorded
+// operator below the root, the sub-plan with its subtree work as the
+// latency label. This is how Neo [PAPERS.md] multiplies its training
+// corpus — one execution labels every sub-plan, not just the query.
+// Examples without PerOp pass through unchanged.
+func ExpandSubPlans(tp TrainPlan) []TrainPlan {
+	out := []TrainPlan{tp}
+	for _, oa := range tp.PerOp {
+		if oa.Node == nil || oa.Node == tp.Plan {
+			continue
+		}
+		out = append(out, TrainPlan{
+			Q:       oa.Node.Subquery(tp.Q),
+			Plan:    oa.Node,
+			Latency: oa.SubtreeWork,
+		})
+	}
+	return out
 }
 
 // Context carries training inputs for learned cost models.
@@ -32,6 +70,23 @@ type Context struct {
 	Stats *stats.CatalogStats
 	Plans []TrainPlan
 	Seed  int64
+	// SubPlans, when set, trains on every recorded sub-plan (via
+	// ExpandSubPlans) instead of only root plans. Requires the collector
+	// to have filled TrainPlan.PerOp.
+	SubPlans bool
+}
+
+// TrainingSet returns the training corpus models should fit on: Plans
+// as-is, or expanded to sub-plan samples when SubPlans is set.
+func (c *Context) TrainingSet() []TrainPlan {
+	if !c.SubPlans {
+		return c.Plans
+	}
+	var out []TrainPlan
+	for _, tp := range c.Plans {
+		out = append(out, ExpandSubPlans(tp)...)
+	}
+	return out
 }
 
 // Model predicts the latency (work units) of a physical plan.
@@ -118,12 +173,13 @@ func (m *Calibrated) Name() string { return "calibrated" }
 // Train fits the log-linear calibration by least squares.
 func (m *Calibrated) Train(ctx *Context) error {
 	m.cm = cost.New(ctx.Stats)
-	if len(ctx.Plans) == 0 {
+	plans := ctx.TrainingSet()
+	if len(plans) == 0 {
 		return fmt.Errorf("costmodel: calibrated model needs executed plans")
 	}
 	var sx, sy, sxx, sxy float64
-	n := float64(len(ctx.Plans))
-	for _, tp := range ctx.Plans {
+	n := float64(len(plans))
+	for _, tp := range plans {
 		x := math.Log1p(m.cm.PlanCost(tp.Plan.Clone()))
 		y := math.Log1p(tp.Latency)
 		sx += x

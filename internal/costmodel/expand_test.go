@@ -1,0 +1,101 @@
+package costmodel
+
+import (
+	"context"
+	"testing"
+
+	"lqo/internal/plan"
+)
+
+// perOpPlan re-executes a world TrainPlan with telemetry and fills PerOp
+// the way the bench collector does.
+func perOpPlan(t *testing.T, w *world, tp TrainPlan) TrainPlan {
+	t.Helper()
+	res, pt, err := w.ex.RunAnalyze(context.Background(), tp.Q, tp.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.WorkUnits != tp.Latency {
+		t.Fatalf("re-execution charged %v, recorded %v", res.Stats.WorkUnits, tp.Latency)
+	}
+	var perOp []OpActual
+	tp.Plan.Walk(func(n *plan.Node) {
+		ot, ok := pt.ByNode(n)
+		if !ok {
+			t.Fatalf("no telemetry for node %v", n.Aliases())
+		}
+		perOp = append(perOp, OpActual{
+			Node:        n,
+			Rows:        float64(ot.RowsOut),
+			Work:        ot.WorkUnits(),
+			SubtreeWork: pt.SubtreeWork(n),
+			Wall:        ot.Wall,
+		})
+	})
+	tp.PerOp = perOp
+	return tp
+}
+
+// pickJoinPlan returns a world plan with at least one join, so sub-plan
+// expansion has non-root nodes to emit.
+func pickJoinPlan(t *testing.T, w *world) TrainPlan {
+	t.Helper()
+	for _, tp := range w.test {
+		if tp.Plan.NumJoins() >= 1 {
+			return tp
+		}
+	}
+	t.Fatal("no join plan in test split")
+	return TrainPlan{}
+}
+
+func TestExpandSubPlans(t *testing.T) {
+	w := buildWorld(t)
+	tp := perOpPlan(t, w, pickJoinPlan(t, w))
+	out := ExpandSubPlans(tp)
+	nodes := tp.Plan.Nodes()
+	if len(out) != len(nodes) {
+		t.Fatalf("expanded to %d samples from %d plan nodes", len(out), len(nodes))
+	}
+	if out[0].Plan != tp.Plan || out[0].Latency != tp.Latency {
+		t.Fatalf("root sample altered: %+v", out[0])
+	}
+	for _, s := range out[1:] {
+		if s.Plan == tp.Plan {
+			t.Fatal("root emitted twice")
+		}
+		if s.Q == nil || len(s.Q.Refs) != len(s.Plan.Aliases()) {
+			t.Fatalf("sub-query covers %d refs, sub-plan %v", len(s.Q.Refs), s.Plan.Aliases())
+		}
+		if s.Latency <= 0 {
+			t.Fatalf("sub-plan latency = %v", s.Latency)
+		}
+		if s.Latency >= tp.Latency {
+			t.Fatalf("sub-plan latency %v not below root %v", s.Latency, tp.Latency)
+		}
+	}
+	// Without PerOp the example passes through unchanged.
+	bare := TrainPlan{Q: tp.Q, Plan: tp.Plan, Latency: tp.Latency}
+	if got := ExpandSubPlans(bare); len(got) != 1 || got[0].Plan != tp.Plan {
+		t.Fatalf("bare example expanded to %d samples", len(got))
+	}
+}
+
+func TestTrainingSetSubPlans(t *testing.T) {
+	w := buildWorld(t)
+	tp := perOpPlan(t, w, pickJoinPlan(t, w))
+	ctx := &Context{Cat: w.cat, Stats: w.cs, Plans: []TrainPlan{tp}, Seed: 5}
+	if got := ctx.TrainingSet(); len(got) != 1 {
+		t.Fatalf("SubPlans off: training set = %d", len(got))
+	}
+	ctx.SubPlans = true
+	want := len(tp.Plan.Nodes())
+	if got := ctx.TrainingSet(); len(got) != want {
+		t.Fatalf("SubPlans on: training set = %d, want %d", len(got), want)
+	}
+	// The expanded corpus must still train a model end to end.
+	cal := NewCalibrated()
+	if err := cal.Train(ctx); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -31,13 +31,14 @@ func (m *GBDTCost) Name() string {
 
 // Train implements Model.
 func (m *GBDTCost) Train(ctx *Context) error {
-	if len(ctx.Plans) == 0 {
+	plans := ctx.TrainingSet()
+	if len(plans) == 0 {
 		return fmt.Errorf("costmodel: %s needs executed plans", m.Name())
 	}
 	m.f = NewPlanFeaturizer(ctx.Cat, m.zeroShot)
-	xs := make([][]float64, len(ctx.Plans))
-	ys := make([]float64, len(ctx.Plans))
-	for i, tp := range ctx.Plans {
+	xs := make([][]float64, len(plans))
+	ys := make([]float64, len(plans))
+	for i, tp := range plans {
 		xs[i] = m.f.Vector(tp.Plan)
 		ys[i] = math.Log1p(tp.Latency)
 	}
@@ -74,7 +75,8 @@ func (m *MLPCost) Name() string { return "mlp-cost" }
 
 // Train implements Model.
 func (m *MLPCost) Train(ctx *Context) error {
-	if len(ctx.Plans) == 0 {
+	plans := ctx.TrainingSet()
+	if len(plans) == 0 {
 		return fmt.Errorf("costmodel: mlp-cost needs executed plans")
 	}
 	m.f = NewPlanFeaturizer(ctx.Cat, false)
@@ -84,9 +86,9 @@ func (m *MLPCost) Train(ctx *Context) error {
 		return err
 	}
 	m.net = net
-	xs := make([][]float64, len(ctx.Plans))
-	ys := make([]float64, len(ctx.Plans))
-	for i, tp := range ctx.Plans {
+	xs := make([][]float64, len(plans))
+	ys := make([]float64, len(plans))
+	for i, tp := range plans {
 		xs[i] = m.f.Vector(tp.Plan)
 		ys[i] = math.Log1p(tp.Latency)
 	}
@@ -128,7 +130,8 @@ func (m *TreeConv) Name() string { return "treeconv" }
 
 // Train implements Model.
 func (m *TreeConv) Train(ctx *Context) error {
-	if len(ctx.Plans) == 0 {
+	plans := ctx.TrainingSet()
+	if len(plans) == 0 {
 		return fmt.Errorf("costmodel: treeconv needs executed plans")
 	}
 	rng := newRNG(ctx.Seed + 13)
@@ -142,7 +145,7 @@ func (m *TreeConv) Train(ctx *Context) error {
 	}
 	opt := ml.NewAdam(m.LR, m.combine, m.head)
 
-	idx := make([]int, len(ctx.Plans))
+	idx := make([]int, len(plans))
 	for i := range idx {
 		idx[i] = i
 	}
@@ -155,7 +158,7 @@ func (m *TreeConv) Train(ctx *Context) error {
 				end = len(idx)
 			}
 			for _, i := range idx[s:end] {
-				tp := ctx.Plans[i]
+				tp := plans[i]
 				m.trainOne(tp.Plan, math.Log1p(tp.Latency))
 			}
 			opt.Step(end - s)

@@ -39,7 +39,8 @@ func (m *MultiTask) Name() string { return "multitask" }
 // Train implements Model. Cardinality labels come from the executed
 // plans' root TrueCard annotations.
 func (m *MultiTask) Train(ctx *Context) error {
-	if len(ctx.Plans) == 0 {
+	plans := ctx.TrainingSet()
+	if len(plans) == 0 {
 		return fmt.Errorf("costmodel: multitask needs executed plans")
 	}
 	rng := newRNG(ctx.Seed + 19)
@@ -56,7 +57,7 @@ func (m *MultiTask) Train(ctx *Context) error {
 	}
 	opt := ml.NewAdam(m.LR, m.combine, m.latHead, m.cardHead)
 
-	idx := make([]int, len(ctx.Plans))
+	idx := make([]int, len(plans))
 	for i := range idx {
 		idx[i] = i
 	}
@@ -69,7 +70,7 @@ func (m *MultiTask) Train(ctx *Context) error {
 				end = len(idx)
 			}
 			for _, i := range idx[s:end] {
-				tp := ctx.Plans[i]
+				tp := plans[i]
 				m.trainOne(tp.Plan, math.Log1p(tp.Latency), math.Log1p(tp.Plan.TrueCard))
 			}
 			opt.Step(end - s)

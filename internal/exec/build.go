@@ -1,0 +1,47 @@
+// Plan → operator-tree builder: maps every physical plan node to its
+// streaming operator. Structural validation (scan/join operator kinds)
+// happens here, before anything executes; catalog binding happens in each
+// operator's Open, in the reference evaluator's left-to-right order.
+package exec
+
+import (
+	"fmt"
+
+	"lqo/internal/plan"
+	"lqo/internal/query"
+)
+
+// buildOperator constructs the operator tree for the plan rooted at n.
+func (e *Executor) buildOperator(q *query.Query, n *plan.Node) (Operator, error) {
+	if n.IsLeaf() {
+		switch n.Op {
+		case plan.SeqScan:
+			return &seqScanOp{e: e, q: q, node: n}, nil
+		case plan.IndexScan:
+			return &indexScanOp{e: e, q: q, node: n}, nil
+		default:
+			return nil, fmt.Errorf("exec: %s is not a scan operator", n.Op)
+		}
+	}
+	left, err := e.buildOperator(q, n.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := e.buildOperator(q, n.Right)
+	if err != nil {
+		return nil, err
+	}
+	if len(n.Cond) == 0 {
+		// Cross product: only nested loop supports it.
+		if n.Op != plan.NestedLoopJoin {
+			return nil, fmt.Errorf("exec: %s requires at least one equi-join condition", n.Op)
+		}
+		return &crossJoinOp{e: e, q: q, node: n, left: left, right: right}, nil
+	}
+	switch n.Op {
+	case plan.HashJoin, plan.MergeJoin, plan.NestedLoopJoin:
+		return &hashJoinOp{e: e, q: q, node: n, left: left, right: right}, nil
+	default:
+		return nil, fmt.Errorf("exec: %s is not a join operator", n.Op)
+	}
+}

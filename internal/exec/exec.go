@@ -1,7 +1,9 @@
-// Package exec implements the volcano-style executor of the workbench's
-// engine substrate. It evaluates physical plans over the in-memory catalog,
-// producing exact result cardinalities (the training labels for every
-// learned component) and a deterministic cost measurement.
+// Package exec implements the executor of the workbench's engine
+// substrate: a pipeline of streaming batch operators (see operator.go)
+// that evaluates physical plans over the in-memory catalog, producing
+// exact result cardinalities (the training labels for every learned
+// component), per-operator execution telemetry, and a deterministic cost
+// measurement.
 //
 // Latency model. Join results are always computed hash-based internally for
 // tractability, but each operator is *charged* work units according to its
@@ -9,6 +11,10 @@
 // build+probe). Work units are the workbench's deterministic stand-in for
 // wall-clock latency: plan comparisons and regression factors are exactly
 // reproducible across runs and machines.
+//
+// The pre-pipeline recursive evaluator survives as ReferenceRun
+// (reference.go) — the executable specification the pipeline is tested
+// against for byte-identical Count, Value, TrueCard and WorkUnits.
 package exec
 
 import (
@@ -62,29 +68,12 @@ type Result struct {
 	Stats CostStats
 }
 
-// Relation is a materialized intermediate: tuples of row ids, one per
-// covered alias.
-type Relation struct {
-	Aliases []string
-	pos     map[string]int
-	Tuples  [][]int32
-}
-
-func newRelation(aliases []string) *Relation {
-	r := &Relation{Aliases: aliases, pos: make(map[string]int, len(aliases))}
-	for i, a := range aliases {
-		r.pos[a] = i
-	}
-	return r
-}
-
-// Len returns the tuple count.
-func (r *Relation) Len() int { return len(r.Tuples) }
-
-// Executor runs physical plans against a catalog. With Workers > 1 the
-// large-fanout operators (sequential-scan filtering, hash-join probe) run
-// on a fork-join worker pool; results and charged WorkUnits are identical
-// to the serial path (see parallel.go), only wall-clock changes.
+// Executor runs physical plans against a catalog. Plans execute as a
+// pipeline of streaming batch operators (see operator.go); with
+// Workers > 1 the large-fanout phases (sequential-scan filtering, the
+// hash-join probe) fork each segment across a worker pool. Results,
+// TrueCard annotations and charged WorkUnits are identical at every
+// worker count and batch size; only wall-clock changes.
 //
 // An Executor is safe for concurrent use by multiple goroutines as long
 // as each concurrent Run gets its own plan tree (Run annotates plan
@@ -98,6 +87,10 @@ type Executor struct {
 	// execution; values above 1 partition scans and hash-join probes
 	// across that many goroutines.
 	Workers int
+	// BatchSize is the number of tuples per batch streamed between
+	// operators. 0 means DefaultBatchSize. It trades per-batch overhead
+	// against in-flight memory and never affects results.
+	BatchSize int
 }
 
 // New returns an executor over cat.
@@ -110,6 +103,13 @@ func (e *Executor) maxRows() int {
 		return e.MaxIntermediate
 	}
 	return 5_000_000
+}
+
+func (e *Executor) batchSize() int {
+	if e.BatchSize > 0 {
+		return e.BatchSize
+	}
+	return DefaultBatchSize
 }
 
 // Run executes the plan rooted at p for query q. It annotates every plan
@@ -125,168 +125,46 @@ func (e *Executor) Run(q *query.Query, p *plan.Node) (*Result, error) {
 // per-row cost of ctx.Err() is amortized away.
 const cancelCheckRows = 4096
 
-// RunCtx is Run under a context: the executor checks ctx cooperatively
-// inside every scan, build, probe and cross-product loop (serial and
-// parallel), so a query past its deadline — or canceled by its caller —
-// aborts promptly with ctx.Err() instead of running to completion. All
-// worker goroutines observe the same context and are joined before RunCtx
-// returns; cancellation never leaks goroutines.
+// RunCtx is Run under a context: every operator's Next checks ctx at
+// batch boundaries and every cancelCheckRows rows inside tight loops
+// (serial and parallel), so a query past its deadline — or canceled by
+// its caller — aborts promptly with ctx.Err() instead of running to
+// completion. All worker goroutines observe the same context and are
+// joined before RunCtx returns; cancellation never leaks goroutines.
 func (e *Executor) RunCtx(ctx context.Context, q *query.Query, p *plan.Node) (*Result, error) {
-	st := &CostStats{}
-	rel, err := e.eval(ctx, q, p, st)
+	res, _, err := e.RunAnalyze(ctx, q, p)
+	return res, err
+}
+
+// RunAnalyze executes like RunCtx and additionally returns the plan's
+// per-operator telemetry — estimated-vs-actual rows, charged work and
+// wall-clock per operator — for EXPLAIN ANALYZE rendering, sub-plan
+// training labels, and optimizer feedback.
+func (e *Executor) RunAnalyze(ctx context.Context, q *query.Query, p *plan.Node) (*Result, *PlanTelemetry, error) {
+	root, err := e.buildOperator(q, p)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	sink := newAggSink(e, q, root)
+	if err := sink.Open(ctx); err != nil {
+		sink.Close()
+		return nil, nil, err
+	}
+	defer sink.Close()
+	if err := sink.drain(); err != nil {
+		return nil, nil, err
+	}
+	// Error precedence mirrors the reference evaluator: evaluation errors
+	// first (returned by drain), then the context, then aggregate binding.
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	res := &Result{Count: int64(rel.Len()), Stats: *st}
-	v, err := e.aggregate(q, rel, st)
-	if err != nil {
-		return nil, err
+	if sink.bindErr != nil {
+		return nil, nil, sink.bindErr
 	}
-	res.Value = v
-	return res, nil
-}
-
-// aggregate computes q.Agg over the final relation.
-func (e *Executor) aggregate(q *query.Query, rel *Relation, st *CostStats) (float64, error) {
-	if q.Agg.Kind == query.AggCount {
-		return float64(rel.Len()), nil
-	}
-	pos, ok := rel.pos[q.Agg.Alias]
-	if !ok {
-		return 0, fmt.Errorf("exec: aggregate alias %q not in plan output", q.Agg.Alias)
-	}
-	tbl := e.Cat.Table(q.TableOf(q.Agg.Alias))
-	if tbl == nil {
-		return 0, fmt.Errorf("exec: unknown table for aggregate alias %q", q.Agg.Alias)
-	}
-	col := tbl.Column(q.Agg.Column)
-	if col == nil {
-		return 0, fmt.Errorf("exec: unknown aggregate column %s.%s", q.Agg.Alias, q.Agg.Column)
-	}
-	st.WorkUnits += float64(rel.Len()) * cPred
-	if rel.Len() == 0 {
-		if q.Agg.Kind == query.AggMin || q.Agg.Kind == query.AggMax {
-			return math.NaN(), nil
-		}
-		return 0, nil
-	}
-	sum := 0.0
-	lo, hi := math.Inf(1), math.Inf(-1)
-	for _, t := range rel.Tuples {
-		v := col.Float(int(t[pos]))
-		sum += v
-		if v < lo {
-			lo = v
-		}
-		if v > hi {
-			hi = v
-		}
-	}
-	switch q.Agg.Kind {
-	case query.AggSum:
-		return sum, nil
-	case query.AggAvg:
-		return sum / float64(rel.Len()), nil
-	case query.AggMin:
-		return lo, nil
-	default: // AggMax
-		return hi, nil
-	}
-}
-
-func (e *Executor) eval(ctx context.Context, q *query.Query, n *plan.Node, st *CostStats) (*Relation, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	if n.IsLeaf() {
-		return e.evalScan(ctx, q, n, st)
-	}
-	left, err := e.eval(ctx, q, n.Left, st)
-	if err != nil {
-		return nil, err
-	}
-	right, err := e.eval(ctx, q, n.Right, st)
-	if err != nil {
-		return nil, err
-	}
-	out, err := e.evalJoin(ctx, q, n, left, right, st)
-	if err != nil {
-		return nil, err
-	}
-	n.TrueCard = float64(out.Len())
-	return out, nil
-}
-
-func (e *Executor) evalScan(ctx context.Context, q *query.Query, n *plan.Node, st *CostStats) (*Relation, error) {
-	tbl := e.Cat.Table(n.Table)
-	if tbl == nil {
-		return nil, fmt.Errorf("exec: unknown table %q", n.Table)
-	}
-	rel := newRelation([]string{n.Alias})
-	st.WorkUnits += cStartup
-
-	preds := n.Preds
-	switch n.Op {
-	case plan.SeqScan:
-		nrows := tbl.NumRows()
-		st.TuplesRead += int64(nrows)
-		st.WorkUnits += float64(nrows) * (cRead + cPred*float64(len(preds)))
-		cols, err := bindPredCols(tbl, preds)
-		if err != nil {
-			return nil, err
-		}
-		tuples, err := e.filterRows(ctx, nrows, cols, preds)
-		if err != nil {
-			return nil, err
-		}
-		rel.Tuples = tuples
-	case plan.IndexScan:
-		eqIdx := -1
-		var ix *data.Index
-		for i, p := range preds {
-			if p.Op == query.Eq {
-				if cand := tbl.Index(p.Column); cand != nil {
-					eqIdx, ix = i, cand
-					break
-				}
-			}
-		}
-		if ix == nil {
-			return nil, fmt.Errorf("exec: IndexScan on %s(%s) has no usable equality index", n.Table, n.Alias)
-		}
-		st.IndexLookups++
-		rows := ix.Rows(preds[eqIdx].Val.I)
-		rest := make([]query.Pred, 0, len(preds)-1)
-		for i, p := range preds {
-			if i != eqIdx {
-				rest = append(rest, p)
-			}
-		}
-		cols, err := bindPredCols(tbl, rest)
-		if err != nil {
-			return nil, err
-		}
-		st.TuplesRead += int64(len(rows))
-		st.WorkUnits += cIndexSeek + float64(len(rows))*(cRead+cPred*float64(len(rest)))
-		for i, r := range rows {
-			if i%cancelCheckRows == 0 {
-				if err := ctx.Err(); err != nil {
-					return nil, err
-				}
-			}
-			if matchesAll(cols, rest, int(r)) {
-				rel.Tuples = append(rel.Tuples, []int32{r})
-			}
-		}
-	default:
-		return nil, fmt.Errorf("exec: %s is not a scan operator", n.Op)
-	}
-	st.WorkUnits += float64(rel.Len()) * cOutput
-	n.TrueCard = float64(rel.Len())
-	return rel, nil
+	pt := collectTelemetry(sink)
+	res := &Result{Count: sink.count, Value: sink.value(), Stats: pt.Stats()}
+	return res, pt, nil
 }
 
 func bindPredCols(tbl *data.Table, preds []query.Pred) ([]*data.Column, error) {
@@ -308,159 +186,6 @@ func matchesAll(cols []*data.Column, preds []query.Pred, row int) bool {
 		}
 	}
 	return true
-}
-
-// joinKeyCols resolves, for one side of a join, the (relation position,
-// column) pairs supplying the composite key.
-type keyCol struct {
-	pos int
-	col *data.Column
-}
-
-func (e *Executor) keyCols(q *query.Query, rel *Relation, conds []query.Join, leftSide bool) ([]keyCol, error) {
-	out := make([]keyCol, len(conds))
-	for i, j := range conds {
-		alias, col := j.LeftAlias, j.LeftCol
-		if !leftSide {
-			alias, col = j.RightAlias, j.RightCol
-		}
-		// The condition may be written with sides swapped relative to the
-		// plan's children; normalize by membership.
-		if _, ok := rel.pos[alias]; !ok {
-			alias, col = j.RightAlias, j.RightCol
-			if !leftSide {
-				alias, col = j.LeftAlias, j.LeftCol
-			}
-		}
-		p, ok := rel.pos[alias]
-		if !ok {
-			return nil, fmt.Errorf("exec: join condition %s references alias outside both inputs", j)
-		}
-		tbl := e.Cat.Table(q.TableOf(alias))
-		if tbl == nil {
-			return nil, fmt.Errorf("exec: unknown table for alias %q", alias)
-		}
-		c := tbl.Column(col)
-		if c == nil {
-			return nil, fmt.Errorf("exec: unknown join column %s.%s", alias, col)
-		}
-		out[i] = keyCol{pos: p, col: c}
-	}
-	return out, nil
-}
-
-func compositeKey(t []int32, kcs []keyCol) uint64 {
-	// FNV-1a over the key values; collisions are resolved by re-check at
-	// emit time being unnecessary since we hash full int64 values into the
-	// map key below (we use a string-free 64-bit mix, collision probability
-	// is negligible for workbench scales but we still verify equality).
-	var h uint64 = 1469598103934665603
-	for _, kc := range kcs {
-		v := uint64(kc.col.Ints[t[kc.pos]])
-		for i := 0; i < 8; i++ {
-			h ^= (v >> (8 * i)) & 0xff
-			h *= 1099511628211
-		}
-	}
-	return h
-}
-
-func keysEqual(lt []int32, lks []keyCol, rt []int32, rks []keyCol) bool {
-	for i := range lks {
-		if lks[i].col.Ints[lt[lks[i].pos]] != rks[i].col.Ints[rt[rks[i].pos]] {
-			return false
-		}
-	}
-	return true
-}
-
-func (e *Executor) evalJoin(ctx context.Context, q *query.Query, n *plan.Node, left, right *Relation, st *CostStats) (*Relation, error) {
-	st.WorkUnits += cStartup
-	out := newRelation(append(append([]string{}, left.Aliases...), right.Aliases...))
-
-	if len(n.Cond) == 0 {
-		// Cross product: only nested loop supports it.
-		if n.Op != plan.NestedLoopJoin {
-			return nil, fmt.Errorf("exec: %s requires at least one equi-join condition", n.Op)
-		}
-		if productExceeds(left.Len(), right.Len(), e.maxRows()) {
-			return nil, fmt.Errorf("exec: cross product of %d x %d exceeds intermediate cap", left.Len(), right.Len())
-		}
-		st.WorkUnits += float64(left.Len()) * float64(right.Len()) * cNLCompare
-		for li, lt := range left.Tuples {
-			if li%cancelCheckRows == 0 {
-				if err := ctx.Err(); err != nil {
-					return nil, err
-				}
-			}
-			for _, rt := range right.Tuples {
-				out.Tuples = append(out.Tuples, concatTuple(lt, rt))
-			}
-		}
-		st.TuplesJoined += int64(out.Len())
-		st.WorkUnits += float64(out.Len()) * cOutput
-		return out, nil
-	}
-
-	lks, err := e.keyCols(q, left, n.Cond, true)
-	if err != nil {
-		return nil, err
-	}
-	rks, err := e.keyCols(q, right, n.Cond, false)
-	if err != nil {
-		return nil, err
-	}
-	for _, kc := range append(append([]keyCol{}, lks...), rks...) {
-		if kc.col.Kind == data.Float {
-			return nil, fmt.Errorf("exec: equi-join on float column unsupported")
-		}
-	}
-
-	// Charge operator-specific work.
-	nl, nr := float64(left.Len()), float64(right.Len())
-	switch n.Op {
-	case plan.HashJoin:
-		st.WorkUnits += nr*cHashBuild + nl*cHashProbe
-	case plan.MergeJoin:
-		st.WorkUnits += cSortUnit * (nlogn(nl) + nlogn(nr))
-	case plan.NestedLoopJoin:
-		st.WorkUnits += nl * nr * cNLCompare
-	default:
-		return nil, fmt.Errorf("exec: %s is not a join operator", n.Op)
-	}
-
-	// Evaluate hash-based regardless of the charged algorithm: build on the
-	// smaller side for memory, probe with the larger.
-	build, probe := right, left
-	bks, pks := rks, lks
-	buildIsRight := true
-	if left.Len() < right.Len() {
-		build, probe = left, right
-		bks, pks = lks, rks
-		buildIsRight = false
-	}
-	ht := make(map[uint64][]int32, build.Len())
-	for ti, t := range build.Tuples {
-		if ti%cancelCheckRows == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-		}
-		h := compositeKey(t, bks)
-		ht[h] = append(ht[h], int32(ti))
-	}
-	limit := e.maxRows()
-	tuples, capExceeded, err := e.probeHash(ctx, probe, build, ht, pks, bks, buildIsRight, limit)
-	if err != nil {
-		return nil, err
-	}
-	if capExceeded {
-		return nil, fmt.Errorf("exec: join output exceeds intermediate cap (%d)", limit)
-	}
-	out.Tuples = tuples
-	st.TuplesJoined += int64(out.Len())
-	st.WorkUnits += float64(out.Len()) * cOutput
-	return out, nil
 }
 
 // productExceeds reports whether a·b > limit. The comparison happens in

@@ -1,0 +1,595 @@
+// Join operators. Equi-joins (hash, merge, nested-loop — all evaluated
+// hash-based, each charged its own algorithm's work) materialize the
+// build side by design and stream the probe side; cross products
+// materialize both inputs (they are guarded by the intermediate cap) and
+// stream their output.
+//
+// Build-side choice must match the reference evaluator exactly (build on
+// the strictly smaller input, ties to the right) because it determines
+// the output tuple order and therefore the bit pattern of float
+// aggregates. The right child is drained first as the build candidate;
+// the left child is buffered only until it provably reaches the right
+// side's size — from then on it streams through the probe without
+// materialization. Left-deep pipelines (the common optimizer output)
+// therefore never materialize the big accumulated intermediate.
+package exec
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"lqo/internal/data"
+	"lqo/internal/plan"
+	"lqo/internal/query"
+)
+
+// probeSegmentRows is how many probe tuples per worker a partitioned
+// probe phase processes per fill step.
+const probeSegmentRows = 4096
+
+// keyCol resolves one side of a join condition: the tuple position of the
+// alias and the joined column.
+type keyCol struct {
+	pos int
+	col *data.Column
+}
+
+// keyColsFor resolves, for one side of a join, the (tuple position,
+// column) pairs supplying the composite key, given the side's alias
+// layout.
+func keyColsFor(cat *data.Catalog, q *query.Query, pos map[string]int, conds []query.Join, leftSide bool) ([]keyCol, error) {
+	out := make([]keyCol, len(conds))
+	for i, j := range conds {
+		alias, col := j.LeftAlias, j.LeftCol
+		if !leftSide {
+			alias, col = j.RightAlias, j.RightCol
+		}
+		// The condition may be written with sides swapped relative to the
+		// plan's children; normalize by membership.
+		if _, ok := pos[alias]; !ok {
+			alias, col = j.RightAlias, j.RightCol
+			if !leftSide {
+				alias, col = j.LeftAlias, j.LeftCol
+			}
+		}
+		p, ok := pos[alias]
+		if !ok {
+			return nil, fmt.Errorf("exec: join condition %s references alias outside both inputs", j)
+		}
+		tbl := cat.Table(q.TableOf(alias))
+		if tbl == nil {
+			return nil, fmt.Errorf("exec: unknown table for alias %q", alias)
+		}
+		c := tbl.Column(col)
+		if c == nil {
+			return nil, fmt.Errorf("exec: unknown join column %s.%s", alias, col)
+		}
+		out[i] = keyCol{pos: p, col: c}
+	}
+	return out, nil
+}
+
+func compositeKey(t []int32, kcs []keyCol) uint64 {
+	// FNV-1a over the key values; hash collisions are resolved by the
+	// keysEqual re-check at emit time.
+	var h uint64 = 1469598103934665603
+	for _, kc := range kcs {
+		v := uint64(kc.col.Ints[t[kc.pos]])
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= 1099511628211
+		}
+	}
+	return h
+}
+
+func keysEqual(lt []int32, lks []keyCol, rt []int32, rks []keyCol) bool {
+	for i := range lks {
+		if lks[i].col.Ints[lt[lks[i].pos]] != rks[i].col.Ints[rt[rks[i].pos]] {
+			return false
+		}
+	}
+	return true
+}
+
+// hashJoinOp evaluates an equi-join hash-based (whatever the plan
+// operator, which determines only the charged work), materializing the
+// build side and streaming the probe side.
+type hashJoinOp struct {
+	e           *Executor
+	q           *query.Query
+	node        *plan.Node
+	left, right Operator
+	schema      []string
+
+	ctx      context.Context
+	lks, rks []keyCol
+	bks, pks []keyCol
+
+	started      bool
+	buildIsRight bool
+	build        [][]int32
+	ht           map[uint64][]int32
+
+	probeBuf    [][]int32 // current probe tuples (buffered side or a streamed batch view)
+	probeIdx    int
+	probeStream bool // pull further probe batches from the left child
+
+	leftRows, rightRows int64
+	probeChecked        int
+
+	pending [][]int32
+	pendIdx int
+	emitted int
+	done    bool
+	out     Batch
+	tel     OpTelemetry
+}
+
+func (j *hashJoinOp) Open(ctx context.Context) error {
+	defer j.tel.timed(time.Now())
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	j.ctx = ctx
+	j.tel.Op = j.node.Op.String()
+	j.tel.Node = j.node
+	if err := j.left.Open(ctx); err != nil {
+		return err
+	}
+	if err := j.right.Open(ctx); err != nil {
+		return err
+	}
+	ls, rs := j.left.Schema(), j.right.Schema()
+	j.schema = append(append([]string{}, ls...), rs...)
+	var err error
+	if j.lks, err = keyColsFor(j.e.Cat, j.q, schemaPos(ls), j.node.Cond, true); err != nil {
+		return err
+	}
+	if j.rks, err = keyColsFor(j.e.Cat, j.q, schemaPos(rs), j.node.Cond, false); err != nil {
+		return err
+	}
+	for _, kc := range append(append([]keyCol{}, j.lks...), j.rks...) {
+		if kc.col.Kind == data.Float {
+			return fmt.Errorf("exec: equi-join on float column unsupported")
+		}
+	}
+	j.tel.charges = append(j.tel.charges, cStartup)
+	return nil
+}
+
+// start runs the build phase: drain the right child (the build
+// candidate), buffer the left prefix until the build side is decided, and
+// build the hash table.
+func (j *hashJoinOp) start() error {
+	var rightBuf [][]int32
+	for {
+		b, err := j.right.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		j.tel.RowsIn += int64(b.Len())
+		rightBuf = append(rightBuf, b.Tuples...)
+	}
+	j.rightRows = int64(len(rightBuf))
+
+	var leftPrefix [][]int32
+	leftDone := false
+	for int64(len(leftPrefix)) < j.rightRows {
+		b, err := j.left.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			leftDone = true
+			break
+		}
+		j.tel.RowsIn += int64(b.Len())
+		leftPrefix = append(leftPrefix, b.Tuples...)
+	}
+	j.leftRows = int64(len(leftPrefix))
+
+	if leftDone && j.leftRows < j.rightRows {
+		// Left is strictly smaller: build on left, probe the materialized
+		// right side.
+		j.buildIsRight = false
+		j.build = leftPrefix
+		j.bks, j.pks = j.lks, j.rks
+		j.probeBuf = rightBuf
+	} else {
+		// Left is at least as large: build on right, probe the buffered
+		// prefix and then stream the rest of the left side.
+		j.buildIsRight = true
+		j.build = rightBuf
+		j.bks, j.pks = j.rks, j.lks
+		j.probeBuf = leftPrefix
+		j.probeStream = !leftDone
+	}
+	j.ht = make(map[uint64][]int32, len(j.build))
+	for ti, t := range j.build {
+		if ti%cancelCheckRows == 0 {
+			if err := j.ctx.Err(); err != nil {
+				return err
+			}
+		}
+		j.ht[compositeKey(t, j.bks)] = append(j.ht[compositeKey(t, j.bks)], int32(ti))
+	}
+	return nil
+}
+
+// emit appends the matches of one probe tuple to buf in build order,
+// oriented left-tuple-first.
+func (j *hashJoinOp) emit(pt []int32, buf [][]int32) [][]int32 {
+	h := compositeKey(pt, j.pks)
+	for _, bi := range j.ht[h] {
+		bt := j.build[bi]
+		if !keysEqual(pt, j.pks, bt, j.bks) {
+			continue
+		}
+		var lt, rt []int32
+		if j.buildIsRight {
+			lt, rt = pt, bt
+		} else {
+			lt, rt = bt, pt
+		}
+		buf = append(buf, concatTuple(lt, rt))
+	}
+	return buf
+}
+
+func (j *hashJoinOp) capErr() error {
+	return fmt.Errorf("exec: join output exceeds intermediate cap (%d)", j.e.maxRows())
+}
+
+// nextProbe returns the next probe tuple, pulling further left batches
+// when streaming.
+func (j *hashJoinOp) nextProbe() ([]int32, bool, error) {
+	for j.probeIdx >= len(j.probeBuf) {
+		if !j.probeStream {
+			return nil, false, nil
+		}
+		b, err := j.left.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if b == nil {
+			j.probeStream = false
+			return nil, false, nil
+		}
+		j.leftRows += int64(b.Len())
+		j.tel.RowsIn += int64(b.Len())
+		j.probeBuf, j.probeIdx = b.Tuples, 0
+	}
+	pt := j.probeBuf[j.probeIdx]
+	j.probeIdx++
+	return pt, true, nil
+}
+
+// gatherSegment collects up to n probe tuples for a partitioned probe
+// step, copying only tuple pointers.
+func (j *hashJoinOp) gatherSegment(n int) ([][]int32, error) {
+	var seg [][]int32
+	for len(seg) < n {
+		if j.probeIdx < len(j.probeBuf) {
+			take := len(j.probeBuf) - j.probeIdx
+			if take > n-len(seg) {
+				take = n - len(seg)
+			}
+			seg = append(seg, j.probeBuf[j.probeIdx:j.probeIdx+take]...)
+			j.probeIdx += take
+			continue
+		}
+		if !j.probeStream {
+			break
+		}
+		b, err := j.left.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			j.probeStream = false
+			break
+		}
+		j.leftRows += int64(b.Len())
+		j.tel.RowsIn += int64(b.Len())
+		j.probeBuf, j.probeIdx = b.Tuples, 0
+	}
+	return seg, nil
+}
+
+func (j *hashJoinOp) probeSegmentSerial(seg [][]int32, limit int) error {
+	for _, pt := range seg {
+		if j.probeChecked%cancelCheckRows == 0 {
+			if err := j.ctx.Err(); err != nil {
+				return err
+			}
+		}
+		j.probeChecked++
+		before := len(j.pending)
+		j.pending = j.emit(pt, j.pending)
+		j.emitted += len(j.pending) - before
+		if j.emitted > limit {
+			return j.capErr()
+		}
+	}
+	return nil
+}
+
+func (j *hashJoinOp) probeSegmentParallel(seg [][]int32, w, limit int) error {
+	spans := splitSpans(len(seg), w)
+	bufs := make([][][]int32, len(spans))
+	var exceeded atomic.Bool
+	runSpans(spans, func(si int, s span) {
+		var buf [][]int32
+		for i := s.lo; i < s.hi; i++ {
+			buf = j.emit(seg[i], buf)
+			// A single partition past the cap already implies the total is
+			// past it; bail early instead of materializing more.
+			if len(buf) > limit {
+				exceeded.Store(true)
+				return
+			}
+			if i%1024 == 0 && (exceeded.Load() || j.ctx.Err() != nil) {
+				return
+			}
+		}
+		bufs[si] = buf
+	})
+	if err := j.ctx.Err(); err != nil {
+		return err
+	}
+	if exceeded.Load() {
+		return j.capErr()
+	}
+	for _, b := range bufs {
+		j.emitted += len(b)
+	}
+	if j.emitted > limit {
+		return j.capErr()
+	}
+	j.pending = append(j.pending, mergeSpanBuffers(bufs)...)
+	return nil
+}
+
+// fill refills pending with at least one batch of output, or leaves it
+// empty when the probe side is exhausted.
+func (j *hashJoinOp) fill() error {
+	bs := j.e.batchSize()
+	limit := j.e.maxRows()
+	w := j.e.workers()
+	for len(j.pending) < bs {
+		if w > 1 {
+			seg, err := j.gatherSegment(w * probeSegmentRows)
+			if err != nil {
+				return err
+			}
+			if len(seg) == 0 {
+				return nil
+			}
+			if len(seg) >= parallelMinRows {
+				if err := j.probeSegmentParallel(seg, w, limit); err != nil {
+					return err
+				}
+			} else if err := j.probeSegmentSerial(seg, limit); err != nil {
+				return err
+			}
+			continue
+		}
+		pt, ok, err := j.nextProbe()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if j.probeChecked%cancelCheckRows == 0 {
+			if err := j.ctx.Err(); err != nil {
+				return err
+			}
+		}
+		j.probeChecked++
+		before := len(j.pending)
+		j.pending = j.emit(pt, j.pending)
+		j.emitted += len(j.pending) - before
+		if j.emitted > limit {
+			return j.capErr()
+		}
+	}
+	return nil
+}
+
+func (j *hashJoinOp) Next() (*Batch, error) {
+	defer j.tel.timed(time.Now())
+	if err := j.ctx.Err(); err != nil {
+		return nil, err
+	}
+	if j.done {
+		return nil, nil
+	}
+	if !j.started {
+		j.started = true
+		if err := j.start(); err != nil {
+			return nil, err
+		}
+	}
+	if j.pendIdx == len(j.pending) {
+		j.pending = j.pending[:0]
+		j.pendIdx = 0
+		if err := j.fill(); err != nil {
+			return nil, err
+		}
+	}
+	if len(j.pending) == 0 {
+		j.finish()
+		return nil, nil
+	}
+	return emitPending(&j.pending, &j.pendIdx, &j.out, &j.tel, j.e.batchSize()), nil
+}
+
+func (j *hashJoinOp) finish() {
+	j.done = true
+	nl, nr := float64(j.leftRows), float64(j.rightRows)
+	var op float64
+	switch j.node.Op {
+	case plan.HashJoin:
+		op = nr*cHashBuild + nl*cHashProbe
+	case plan.MergeJoin:
+		op = cSortUnit * (nlogn(nl) + nlogn(nr))
+	default: // NestedLoopJoin with equi-conditions
+		op = nl * nr * cNLCompare
+	}
+	j.tel.charges = append(j.tel.charges, op, float64(j.emitted)*cOutput)
+	j.tel.tuplesJoined = int64(j.emitted)
+	j.node.TrueCard = float64(j.emitted)
+}
+
+func (j *hashJoinOp) Close() error {
+	j.build, j.ht, j.probeBuf, j.pending, j.out.Tuples = nil, nil, nil, nil, nil
+	err := j.left.Close()
+	if err2 := j.right.Close(); err == nil {
+		err = err2
+	}
+	return err
+}
+
+func (j *hashJoinOp) Telemetry() *OpTelemetry { return &j.tel }
+func (j *hashJoinOp) Schema() []string        { return j.schema }
+func (j *hashJoinOp) Children() []Operator    { return []Operator{j.left, j.right} }
+
+// crossJoinOp evaluates a condition-free nested-loop join. Both inputs
+// materialize (the product is guarded by the intermediate cap before any
+// output is produced); the quadratic output streams in batches.
+type crossJoinOp struct {
+	e           *Executor
+	q           *query.Query
+	node        *plan.Node
+	left, right Operator
+	schema      []string
+
+	ctx        context.Context
+	started    bool
+	lbuf, rbuf [][]int32
+	li, ri     int
+
+	pending [][]int32
+	pendIdx int
+	emitted int
+	done    bool
+	out     Batch
+	tel     OpTelemetry
+}
+
+func (c *crossJoinOp) Open(ctx context.Context) error {
+	defer c.tel.timed(time.Now())
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c.ctx = ctx
+	c.tel.Op = c.node.Op.String()
+	c.tel.Node = c.node
+	if err := c.left.Open(ctx); err != nil {
+		return err
+	}
+	if err := c.right.Open(ctx); err != nil {
+		return err
+	}
+	c.schema = append(append([]string{}, c.left.Schema()...), c.right.Schema()...)
+	c.tel.charges = append(c.tel.charges, cStartup)
+	return nil
+}
+
+func (c *crossJoinOp) start() error {
+	for _, pull := range []Operator{c.left, c.right} {
+		buf := &c.lbuf
+		if pull == c.right {
+			buf = &c.rbuf
+		}
+		for {
+			b, err := pull.Next()
+			if err != nil {
+				return err
+			}
+			if b == nil {
+				break
+			}
+			c.tel.RowsIn += int64(b.Len())
+			*buf = append(*buf, b.Tuples...)
+		}
+	}
+	if productExceeds(len(c.lbuf), len(c.rbuf), c.e.maxRows()) {
+		return fmt.Errorf("exec: cross product of %d x %d exceeds intermediate cap", len(c.lbuf), len(c.rbuf))
+	}
+	return nil
+}
+
+func (c *crossJoinOp) fill() error {
+	bs := c.e.batchSize()
+	for len(c.pending) < bs && c.li < len(c.lbuf) {
+		if c.ri == 0 && c.li%cancelCheckRows == 0 {
+			if err := c.ctx.Err(); err != nil {
+				return err
+			}
+		}
+		lt := c.lbuf[c.li]
+		for c.ri < len(c.rbuf) && len(c.pending) < bs {
+			c.pending = append(c.pending, concatTuple(lt, c.rbuf[c.ri]))
+			c.ri++
+			c.emitted++
+		}
+		if c.ri == len(c.rbuf) {
+			c.ri = 0
+			c.li++
+		}
+	}
+	return nil
+}
+
+func (c *crossJoinOp) Next() (*Batch, error) {
+	defer c.tel.timed(time.Now())
+	if err := c.ctx.Err(); err != nil {
+		return nil, err
+	}
+	if c.done {
+		return nil, nil
+	}
+	if !c.started {
+		c.started = true
+		if err := c.start(); err != nil {
+			return nil, err
+		}
+	}
+	if c.pendIdx == len(c.pending) {
+		c.pending = c.pending[:0]
+		c.pendIdx = 0
+		if err := c.fill(); err != nil {
+			return nil, err
+		}
+	}
+	if len(c.pending) == 0 {
+		c.done = true
+		nl, nr := float64(len(c.lbuf)), float64(len(c.rbuf))
+		c.tel.charges = append(c.tel.charges, nl*nr*cNLCompare, float64(c.emitted)*cOutput)
+		c.tel.tuplesJoined = int64(c.emitted)
+		c.node.TrueCard = float64(c.emitted)
+		return nil, nil
+	}
+	return emitPending(&c.pending, &c.pendIdx, &c.out, &c.tel, c.e.batchSize()), nil
+}
+
+func (c *crossJoinOp) Close() error {
+	c.lbuf, c.rbuf, c.pending, c.out.Tuples = nil, nil, nil, nil
+	err := c.left.Close()
+	if err2 := c.right.Close(); err == nil {
+		err = err2
+	}
+	return err
+}
+
+func (c *crossJoinOp) Telemetry() *OpTelemetry { return &c.tel }
+func (c *crossJoinOp) Schema() []string        { return c.schema }
+func (c *crossJoinOp) Children() []Operator    { return []Operator{c.left, c.right} }

@@ -1,0 +1,264 @@
+// Scan operators: streaming sequential scan with pushed-down predicate
+// filtering (serial or span-partitioned across the worker pool) and index
+// scan with residual predicate filtering.
+package exec
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"lqo/internal/data"
+	"lqo/internal/plan"
+	"lqo/internal/query"
+)
+
+// scanSegmentRows is how many input rows per worker a partitioned scan
+// filters per fill step. Each segment is forked across the pool and joined
+// before the next, so in-flight intermediate state stays bounded while
+// span-order concatenation keeps output identical to the serial path.
+const scanSegmentRows = 8192
+
+// seqScanOp streams the matching row ids of a sequential scan in batches.
+type seqScanOp struct {
+	e    *Executor
+	q    *query.Query
+	node *plan.Node
+
+	ctx   context.Context
+	cols  []*data.Column
+	preds []query.Pred
+	nrows int
+
+	cursor  int       // next unread input row
+	pending [][]int32 // filtered tuples awaiting emission
+	pendIdx int
+	done    bool
+	out     Batch
+	tel     OpTelemetry
+}
+
+func (s *seqScanOp) Open(ctx context.Context) error {
+	defer s.tel.timed(time.Now())
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s.ctx = ctx
+	s.tel.Op = s.node.Op.String()
+	s.tel.Node = s.node
+	tbl := s.e.Cat.Table(s.node.Table)
+	if tbl == nil {
+		return fmt.Errorf("exec: unknown table %q", s.node.Table)
+	}
+	s.preds = s.node.Preds
+	cols, err := bindPredCols(tbl, s.preds)
+	if err != nil {
+		return err
+	}
+	s.cols = cols
+	s.nrows = tbl.NumRows()
+	s.tel.RowsIn = int64(s.nrows)
+	s.tel.tuplesRead = int64(s.nrows)
+	s.tel.charges = append(s.tel.charges,
+		cStartup,
+		float64(s.nrows)*(cRead+cPred*float64(len(s.preds))))
+	return nil
+}
+
+func (s *seqScanOp) Next() (*Batch, error) {
+	defer s.tel.timed(time.Now())
+	if err := s.ctx.Err(); err != nil {
+		return nil, err
+	}
+	if s.done {
+		return nil, nil
+	}
+	if s.pendIdx == len(s.pending) {
+		s.pending = s.pending[:0]
+		s.pendIdx = 0
+		if err := s.fill(); err != nil {
+			return nil, err
+		}
+	}
+	if len(s.pending) == 0 {
+		s.finish()
+		return nil, nil
+	}
+	return emitPending(&s.pending, &s.pendIdx, &s.out, &s.tel, s.e.batchSize()), nil
+}
+
+// fill refills pending from the next chunk of input rows: serially up to a
+// batch of matches, or one span-partitioned segment on the worker pool.
+func (s *seqScanOp) fill() error {
+	w := s.e.workers()
+	if w == 1 || s.nrows < parallelMinRows {
+		bs := s.e.batchSize()
+		for s.cursor < s.nrows && len(s.pending) < bs {
+			if s.cursor%cancelCheckRows == 0 {
+				if err := s.ctx.Err(); err != nil {
+					return err
+				}
+			}
+			if matchesAll(s.cols, s.preds, s.cursor) {
+				s.pending = append(s.pending, []int32{int32(s.cursor)})
+			}
+			s.cursor++
+		}
+		return nil
+	}
+	for len(s.pending) == 0 && s.cursor < s.nrows {
+		hi := s.cursor + w*scanSegmentRows
+		if hi > s.nrows {
+			hi = s.nrows
+		}
+		spans := splitSpans(hi-s.cursor, w)
+		bufs := make([][][]int32, len(spans))
+		lo := s.cursor
+		runSpans(spans, func(si int, sp span) {
+			var buf [][]int32
+			for i := lo + sp.lo; i < lo+sp.hi; i++ {
+				if (i-lo-sp.lo)%cancelCheckRows == 0 && s.ctx.Err() != nil {
+					return // partial buffer discarded by the ctx check below
+				}
+				if matchesAll(s.cols, s.preds, i) {
+					buf = append(buf, []int32{int32(i)})
+				}
+			}
+			bufs[si] = buf
+		})
+		if err := s.ctx.Err(); err != nil {
+			return err
+		}
+		s.pending = append(s.pending, mergeSpanBuffers(bufs)...)
+		s.cursor = hi
+	}
+	return nil
+}
+
+func (s *seqScanOp) finish() {
+	s.done = true
+	s.tel.charges = append(s.tel.charges, float64(s.tel.RowsOut)*cOutput)
+	s.node.TrueCard = float64(s.tel.RowsOut)
+}
+
+func (s *seqScanOp) Close() error               { s.pending = nil; s.out.Tuples = nil; return nil }
+func (s *seqScanOp) Telemetry() *OpTelemetry    { return &s.tel }
+func (s *seqScanOp) Schema() []string           { return []string{s.node.Alias} }
+func (s *seqScanOp) Children() []Operator       { return nil }
+
+// indexScanOp probes an equality index and streams the rows surviving the
+// residual predicates.
+type indexScanOp struct {
+	e    *Executor
+	q    *query.Query
+	node *plan.Node
+
+	ctx  context.Context
+	rows []int32
+	cols []*data.Column
+	rest []query.Pred
+
+	cursor int
+	done   bool
+	out    Batch
+	tel    OpTelemetry
+}
+
+func (s *indexScanOp) Open(ctx context.Context) error {
+	defer s.tel.timed(time.Now())
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s.ctx = ctx
+	s.tel.Op = s.node.Op.String()
+	s.tel.Node = s.node
+	tbl := s.e.Cat.Table(s.node.Table)
+	if tbl == nil {
+		return fmt.Errorf("exec: unknown table %q", s.node.Table)
+	}
+	preds := s.node.Preds
+	eqIdx := -1
+	var ix *data.Index
+	for i, p := range preds {
+		if p.Op == query.Eq {
+			if cand := tbl.Index(p.Column); cand != nil {
+				eqIdx, ix = i, cand
+				break
+			}
+		}
+	}
+	if ix == nil {
+		return fmt.Errorf("exec: IndexScan on %s(%s) has no usable equality index", s.node.Table, s.node.Alias)
+	}
+	s.rows = ix.Rows(preds[eqIdx].Val.I)
+	s.rest = make([]query.Pred, 0, len(preds)-1)
+	for i, p := range preds {
+		if i != eqIdx {
+			s.rest = append(s.rest, p)
+		}
+	}
+	cols, err := bindPredCols(tbl, s.rest)
+	if err != nil {
+		return err
+	}
+	s.cols = cols
+	s.tel.RowsIn = int64(len(s.rows))
+	s.tel.tuplesRead = int64(len(s.rows))
+	s.tel.indexLookups = 1
+	s.tel.charges = append(s.tel.charges,
+		cStartup,
+		cIndexSeek+float64(len(s.rows))*(cRead+cPred*float64(len(s.rest))))
+	return nil
+}
+
+func (s *indexScanOp) Next() (*Batch, error) {
+	defer s.tel.timed(time.Now())
+	if err := s.ctx.Err(); err != nil {
+		return nil, err
+	}
+	if s.done {
+		return nil, nil
+	}
+	bs := s.e.batchSize()
+	s.out.Tuples = s.out.Tuples[:0]
+	for s.cursor < len(s.rows) && len(s.out.Tuples) < bs {
+		if s.cursor%cancelCheckRows == 0 {
+			if err := s.ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		r := s.rows[s.cursor]
+		s.cursor++
+		if matchesAll(s.cols, s.rest, int(r)) {
+			s.out.Tuples = append(s.out.Tuples, []int32{r})
+		}
+	}
+	if len(s.out.Tuples) == 0 {
+		s.done = true
+		s.tel.charges = append(s.tel.charges, float64(s.tel.RowsOut)*cOutput)
+		s.node.TrueCard = float64(s.tel.RowsOut)
+		return nil, nil
+	}
+	s.tel.RowsOut += int64(len(s.out.Tuples))
+	s.tel.Batches++
+	return &s.out, nil
+}
+
+func (s *indexScanOp) Close() error            { s.rows = nil; s.out.Tuples = nil; return nil }
+func (s *indexScanOp) Telemetry() *OpTelemetry { return &s.tel }
+func (s *indexScanOp) Schema() []string        { return []string{s.node.Alias} }
+func (s *indexScanOp) Children() []Operator    { return nil }
+
+// emitPending slices the next batch-sized window out of a pending buffer
+// without copying tuples, updating output telemetry.
+func emitPending(pending *[][]int32, pendIdx *int, out *Batch, tel *OpTelemetry, batchSize int) *Batch {
+	n := len(*pending) - *pendIdx
+	if n > batchSize {
+		n = batchSize
+	}
+	out.Tuples = (*pending)[*pendIdx : *pendIdx+n]
+	*pendIdx += n
+	tel.RowsOut += int64(n)
+	tel.Batches++
+	return out
+}

@@ -1,0 +1,24 @@
+package opt
+
+import (
+	"lqo/internal/plan"
+	"lqo/internal/query"
+)
+
+// CardsFromPlan harvests execution feedback from an executed,
+// TrueCard-annotated plan: one exact cardinality per sub-plan, keyed by
+// the sub-query's canonical key. The result plugs straight into an
+// injected estimator (PilotScope's PushCards), so the next optimization
+// of the same query — or any query sharing sub-plans — plans with true
+// cardinalities where they are known.
+//
+// The plan must come from a successful execution (every node annotated);
+// a successful run annotates the whole tree, so a zero TrueCard means a
+// genuinely empty intermediate, which is itself valuable feedback.
+func CardsFromPlan(q *query.Query, p *plan.Node) map[string]float64 {
+	cards := make(map[string]float64)
+	p.Walk(func(n *plan.Node) {
+		cards[n.Subquery(q).Key()] = n.TrueCard
+	})
+	return cards
+}

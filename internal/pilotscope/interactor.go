@@ -9,6 +9,7 @@ package pilotscope
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"lqo/internal/cardest"
 	"lqo/internal/cost"
@@ -60,7 +61,25 @@ const (
 	// PullSubqueries returns the payload *query.Query's connected
 	// sub-queries as []*query.Query.
 	PullSubqueries
+	// PullSubPlanLabels executes the payload *query.Query under the
+	// session's pushed state and returns []SubPlanLabel: one per plan
+	// node, with the sub-plan's actual cardinality, the work units of the
+	// whole subtree and per-operator wall time. These are the sub-plan
+	// training labels Neo/LEON-style drivers learn from (one execution
+	// labels every sub-plan, not just the root).
+	PullSubPlanLabels
 )
+
+// SubPlanLabel is one executed plan node's training label: the sub-query
+// the subtree computes, its exact cardinality, and the measured cost of
+// the subtree.
+type SubPlanLabel struct {
+	Q         *query.Query  // logical sub-query of the subtree
+	Op        string        // operator at the subtree root
+	Card      float64       // actual output cardinality (TrueCard)
+	WorkUnits float64       // work charged to the whole subtree
+	Wall      time.Duration // wall-clock inside the subtree's root operator
+}
 
 // Result is what a database user gets back from ExecuteSQL.
 type Result struct {
@@ -212,6 +231,12 @@ func (e *Engine) Pull(ctx context.Context, sess *Session, kind PullKind, payload
 			return nil, fmt.Errorf("pilotscope: PullSubqueries wants *query.Query, got %T", payload)
 		}
 		return Subqueries(q), nil
+	case PullSubPlanLabels:
+		q, ok := payload.(*query.Query)
+		if !ok {
+			return nil, fmt.Errorf("pilotscope: PullSubPlanLabels wants *query.Query, got %T", payload)
+		}
+		return e.subPlanLabels(ctx, sess, q)
 	default:
 		return nil, fmt.Errorf("pilotscope: unknown pull kind %d", kind)
 	}
@@ -276,6 +301,66 @@ func (e *Engine) optimize(ctx context.Context, sess *Session, q *query.Query) (*
 		}
 	}
 	return o.OptimizeCtx(ctx, q)
+}
+
+// subPlanLabels optimizes q under the session, executes the plan with
+// per-operator telemetry, and returns one label per plan node in
+// pre-order.
+func (e *Engine) subPlanLabels(ctx context.Context, sess *Session, q *query.Query) ([]SubPlanLabel, error) {
+	p, err := e.optimize(ctx, sess, q)
+	if err != nil {
+		return nil, err
+	}
+	_, pt, err := e.Ex.RunAnalyze(ctx, q, p)
+	if err != nil {
+		return nil, err
+	}
+	var labels []SubPlanLabel
+	p.Walk(func(n *plan.Node) {
+		t, ok := pt.ByNode(n)
+		if !ok {
+			return
+		}
+		labels = append(labels, SubPlanLabel{
+			Q:         n.Subquery(q),
+			Op:        n.Op.String(),
+			Card:      n.TrueCard,
+			WorkUnits: pt.SubtreeWork(n),
+			Wall:      t.Wall,
+		})
+	})
+	return labels, nil
+}
+
+// ExplainAnalyze parses, optimizes (honoring the session) and executes
+// sql, returning the rendered per-operator estimated-vs-actual view plus
+// the execution result.
+func (e *Engine) ExplainAnalyze(ctx context.Context, sess *Session, sql string) (string, *Result, error) {
+	q, err := sqlx.Parse(sql, e.Cat)
+	if err != nil {
+		return "", nil, err
+	}
+	p, err := e.optimize(ctx, sess, q)
+	if err != nil {
+		return "", nil, err
+	}
+	res, pt, err := e.Ex.RunAnalyze(ctx, q, p)
+	if err != nil {
+		return "", nil, err
+	}
+	out := plan.RenderAnalyze(p, func(n *plan.Node) (plan.Actuals, bool) {
+		t, ok := pt.ByNode(n)
+		if !ok {
+			return plan.Actuals{}, false
+		}
+		return plan.Actuals{
+			Rows:    float64(t.RowsOut),
+			Work:    t.WorkUnits(),
+			Wall:    t.Wall,
+			Batches: t.Batches,
+		}, true
+	})
+	return out, &Result{Count: res.Count, Value: res.Value, Latency: res.Stats.WorkUnits, Plan: p}, nil
 }
 
 // ExecuteSQL implements DB.

@@ -1,0 +1,129 @@
+package pilotscope
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"lqo/internal/plan"
+)
+
+// multiJoinSQL returns a test statement whose plan has at least one join,
+// so sub-plan labels cover more than a single scan.
+func multiJoinSQL(t *testing.T, w *world) string {
+	t.Helper()
+	for _, sql := range w.test {
+		q := mustParse(t, w, sql)
+		if len(q.Refs) >= 2 {
+			return sql
+		}
+	}
+	t.Fatal("no multi-join statement in test workload")
+	return ""
+}
+
+func TestPullSubPlanLabels(t *testing.T) {
+	w := getWorld(t)
+	sql := multiJoinSQL(t, w)
+	q := mustParse(t, w, sql)
+	sess := &Session{}
+	res, err := w.eng.ExecuteQuery(context.Background(), sess, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := w.eng.Pull(context.Background(), sess, PullSubPlanLabels, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := got.([]SubPlanLabel)
+	if len(labels) != len(res.Plan.Nodes()) {
+		t.Fatalf("%d labels for %d plan nodes", len(labels), len(res.Plan.Nodes()))
+	}
+	// Walk is pre-order: the first label is the root.
+	root := labels[0]
+	if root.Card != float64(res.Count) {
+		t.Fatalf("root card %v, executed count %d", root.Card, res.Count)
+	}
+	// Subtree work sums per-operator subtotals — a different float
+	// association than the executor's flat charge fold, so compare with a
+	// small relative tolerance.
+	if d := math.Abs(root.WorkUnits - res.Latency); d > 1e-6*math.Max(1, res.Latency) {
+		t.Fatalf("root subtree work %v, executed latency %v", root.WorkUnits, res.Latency)
+	}
+	for _, l := range labels {
+		if l.Q == nil || len(l.Q.Refs) == 0 {
+			t.Fatalf("label %q without sub-query", l.Op)
+		}
+		if l.Op == "" || l.Card < 0 || l.WorkUnits <= 0 {
+			t.Fatalf("degenerate label %+v", l)
+		}
+		// Each label's cardinality must be the sub-query's true cardinality.
+		tc, err := w.eng.Pull(context.Background(), sess, PullTrueCard, l.Q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tc.(float64) != l.Card {
+			t.Errorf("%s on %v: label card %v, true card %v", l.Op, l.Q.Key(), l.Card, tc)
+		}
+	}
+}
+
+func TestPullSubPlanLabelsBadPayload(t *testing.T) {
+	w := getWorld(t)
+	if _, err := w.eng.Pull(context.Background(), &Session{}, PullSubPlanLabels, 42); err == nil {
+		t.Fatal("bad payload accepted")
+	}
+}
+
+func TestExplainAnalyze(t *testing.T) {
+	w := getWorld(t)
+	sql := multiJoinSQL(t, w)
+	sess := &Session{}
+	rendered, res, err := w.eng.ExplainAnalyze(context.Background(), sess, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || res.Plan == nil {
+		t.Fatal("no result")
+	}
+	for _, want := range []string{"est=", "actual=", "work=", "batches="} {
+		if !strings.Contains(rendered, want) {
+			t.Fatalf("rendered output missing %q:\n%s", want, rendered)
+		}
+	}
+	if strings.Contains(rendered, "actual=-") {
+		t.Fatalf("executed plan has un-instrumented nodes:\n%s", rendered)
+	}
+	// One rendered line per plan node.
+	lines := strings.Count(strings.TrimRight(rendered, "\n"), "\n") + 1
+	if want := len(res.Plan.Nodes()); lines != want {
+		t.Fatalf("rendered %d lines for %d nodes:\n%s", lines, want, rendered)
+	}
+	// EXPLAIN ANALYZE must report exactly what plain execution reports.
+	plain, err := w.eng.ExecuteSQL(context.Background(), &Session{}, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Count != res.Count || plain.Value != res.Value || plain.Latency != res.Latency {
+		t.Fatalf("EXPLAIN ANALYZE result %+v, plain execution %+v", res, plain)
+	}
+}
+
+func TestExplainAnalyzeHonorsSession(t *testing.T) {
+	w := getWorld(t)
+	sql := multiJoinSQL(t, w)
+	sess := &Session{}
+	if err := w.eng.Push(context.Background(), sess, PushHints, plan.HintSet{NoHashJoin: true, NoMergeJoin: true}); err != nil {
+		t.Fatal(err)
+	}
+	rendered, res, err := w.eng.ExplainAnalyze(context.Background(), sess, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Plan.Walk(func(n *plan.Node) {
+		if n.Op == plan.HashJoin || n.Op == plan.MergeJoin {
+			t.Fatalf("pushed hints ignored:\n%s", rendered)
+		}
+	})
+}

@@ -1,0 +1,41 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestToDOTStructure(t *testing.T) {
+	p := samplePlan()
+	p.EstCard, p.TrueCard = 42, 40
+	out := ToDOT(p)
+
+	if !strings.HasPrefix(out, "digraph plan {\n") || !strings.HasSuffix(out, "}\n") {
+		t.Fatalf("not a digraph:\n%s", out)
+	}
+	// One box per operator, each child wired to its parent.
+	for _, want := range []string{
+		"n0 [label=\"HashJoin", // root gets id 0
+		"SeqScan\\na",
+		"IndexScan\\nb",
+		"a.v > 3",
+		"a.id = b.a_id",
+		"est=42 true=40",
+		"n1 -> n0;",
+		"n2 -> n0;",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	if got := strings.Count(out, "[label="); got != 3 {
+		t.Fatalf("expected 3 labeled nodes, found %d:\n%s", got, out)
+	}
+}
+
+func TestEscapeDOT(t *testing.T) {
+	got := escapeDOT("a\"b\nc")
+	if got != `a\"b\nc` {
+		t.Fatalf("escapeDOT = %q", got)
+	}
+}

@@ -1,0 +1,62 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Actuals is one operator's measured execution evidence, supplied by the
+// executor's telemetry. The plan package defines the type (rather than
+// importing the executor) so rendering stays dependency-free.
+type Actuals struct {
+	Rows    float64       // actual output cardinality
+	Work    float64       // work units charged to this operator alone
+	Wall    time.Duration // wall-clock inside the operator
+	Batches int64         // batches emitted
+}
+
+// RenderAnalyze renders the EXPLAIN ANALYZE view of an executed plan:
+// the indented operator tree with estimated vs. actual rows, per-operator
+// work units and wall time. lookup maps each node to its measured
+// actuals; nodes without telemetry (never reached) render estimates only.
+func RenderAnalyze(root *Node, lookup func(*Node) (Actuals, bool)) string {
+	var b strings.Builder
+	var rec func(n *Node, depth int)
+	rec = func(n *Node, depth int) {
+		if n == nil {
+			return
+		}
+		b.WriteString(strings.Repeat("  ", depth))
+		if n.IsLeaf() {
+			fmt.Fprintf(&b, "%s %s", n.Op, n.Alias)
+			if n.Table != n.Alias && n.Table != "" {
+				fmt.Fprintf(&b, " (%s)", n.Table)
+			}
+			if len(n.Preds) > 0 {
+				strs := make([]string, len(n.Preds))
+				for i, p := range n.Preds {
+					strs[i] = p.String()
+				}
+				fmt.Fprintf(&b, " filter: %s", strings.Join(strs, " AND "))
+			}
+		} else {
+			strs := make([]string, len(n.Cond))
+			for i, j := range n.Cond {
+				strs[i] = j.String()
+			}
+			fmt.Fprintf(&b, "%s on %s", n.Op, strings.Join(strs, " AND "))
+		}
+		if a, ok := lookup(n); ok {
+			fmt.Fprintf(&b, "  (est=%.0f actual=%.0f work=%.1f time=%s batches=%d)",
+				n.EstCard, a.Rows, a.Work, a.Wall.Round(time.Microsecond), a.Batches)
+		} else {
+			fmt.Fprintf(&b, "  (est=%.0f actual=-)", n.EstCard)
+		}
+		b.WriteString("\n")
+		rec(n.Left, depth+1)
+		rec(n.Right, depth+1)
+	}
+	rec(root, 0)
+	return b.String()
+}
