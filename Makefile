@@ -5,13 +5,14 @@
 #   make race    — full suite under the race detector
 #   make fuzz    — short fuzz smoke over the SQL parser
 #   make verify  — what CI runs: build + vet + tests + race + fuzz smoke
-#   make bench   — regenerate every experiment table (E1..E10)
+#   make bench   — regenerate every experiment table (E1..E10, E13)
+#   make bench-smoke — compile-and-run every Go benchmark once (no timing)
 #   make chaos   — E10 only: guardrail runtime under fault injection
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test vet race fuzz verify bench chaos
+.PHONY: build test vet race fuzz verify bench bench-smoke chaos
 
 build:
 	$(GO) build ./...
@@ -32,6 +33,11 @@ verify: build vet test race fuzz
 
 bench:
 	$(GO) run ./cmd/lqo-bench -exp all
+
+# One iteration of every benchmark — catches bit-rotted benchmark code
+# without paying for real measurements.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/exec/ ./internal/bench/
 
 chaos:
 	$(GO) run ./cmd/lqo-bench -chaos

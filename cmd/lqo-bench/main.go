@@ -1,6 +1,6 @@
 // Command lqo-bench regenerates the workbench's experiment tables E1–E10
-// (see DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
-// results).
+// and E13 (see DESIGN.md for the experiment index and EXPERIMENTS.md for
+// recorded results).
 //
 // Usage:
 //
@@ -8,6 +8,8 @@
 //	lqo-bench -exp E1,E3 -dataset job  # selected experiments
 //	lqo-bench -exp E5 -scale full      # DESIGN.md-scale run (slow)
 //	lqo-bench -exp E9 -parallel 8      # concurrent throughput, 1 vs 8 goroutines
+//	lqo-bench -exp E13                 # vectorized kernels vs scalar filter path
+//	lqo-bench -exp E5 -novec           # any experiment with vectorization disabled
 //	lqo-bench -chaos                   # E10 guardrails under fault injection
 //	lqo-bench -chaos -chaos-rates 0,0.25 -chaos-timeout 2ms
 package main
@@ -32,6 +34,7 @@ func main() {
 		execWorkers = flag.Int("exec-workers", 0, "E9 intra-query executor workers per goroutine (0 = serial operators)")
 		repeatFlag  = flag.Int("repeat", 3, "E9 passes over the workload per measurement")
 		batchFlag   = flag.Int("batch", 0, "E9 executor batch size in tuples (0 = exec default); results are identical at every setting")
+		novecFlag   = flag.Bool("novec", false, "disable vectorized kernels and zone-map pruning on the shared executor; results are identical, only wall clock changes (E13 always runs its own scalar-vs-vectorized A/B)")
 
 		chaosFlag    = flag.Bool("chaos", false, "shorthand for -exp E10: guardrail runtime under fault injection")
 		chaosRates   = flag.String("chaos-rates", "0,0.01,0.10", "E10 comma-separated fault rates in [0,1]")
@@ -49,7 +52,7 @@ func main() {
 	case *chaosFlag:
 		want["E10"] = true
 	case *expFlag == "all":
-		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"} {
+		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E13"} {
 			want[id] = true
 		}
 	default:
@@ -98,6 +101,9 @@ func main() {
 		{"E10", func(env *bench.Env) (*bench.Report, error) {
 			return bench.E10Chaos(env, bench.ChaosOptions{Rates: rates, Timeout: *chaosTimeout, Hang: *chaosHang})
 		}},
+		{"E13", func(env *bench.Env) (*bench.Report, error) {
+			return bench.E13Vectorized(env, *repeatFlag)
+		}},
 	}
 
 	for _, r := range runners {
@@ -110,6 +116,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		env.Ex.NoVec = *novecFlag
 		start := time.Now()
 		rep, err := r.run(env)
 		if err != nil {

@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"lqo/internal/data"
+	"lqo/internal/exec"
+	"lqo/internal/query"
+)
+
+// e13Rows is the synthetic scan-table size for E13. Fixed rather than
+// scale-derived: E13 measures execution kernels, and the quick-scale
+// catalogs are too small (a couple of zone blocks) to show pruning.
+const e13Rows = 200_000
+
+// E13Vectorized is the vectorized-execution experiment: the same queries
+// executed by the scalar row-at-a-time filter path (Executor.NoVec) and
+// by the vectorized block kernels with zone-map pruning. It registers a
+// dedicated events table — a clustered sequential id plus an unordered
+// payload column — in the experiment's (fresh, private) catalog, where
+// per-block min/max summaries are maximally informative: selective id
+// ranges should skip nearly every 1024-row block. Results must be
+// identical on both paths; only wall clock and the blocks-skipped
+// telemetry differ (WorkUnits, the learned cost label, is charged
+// identically by design).
+func E13Vectorized(env *Env, repeat int) (*Report, error) {
+	if repeat < 1 {
+		repeat = 1
+	}
+	// Join partner: the catalog's largest declared FK parent table.
+	var parent *data.Table
+	for _, fk := range env.Cat.FKs() {
+		if t := env.Cat.Table(fk.RefTable); t != nil && t.Column(fk.RefColumn) != nil && fk.RefColumn == "id" {
+			if parent == nil || t.NumRows() > parent.NumRows() {
+				parent = t
+			}
+		}
+	}
+
+	events := data.NewTable("vec_events", &data.Column{Name: "id", Kind: data.Int}, &data.Column{Name: "val", Kind: data.Int}, &data.Column{Name: "ref", Kind: data.Int})
+	rng := env.Seed
+	for i := 0; i < e13Rows; i++ {
+		events.Column("id").AppendInt(int64(i))
+		// Cheap LCG: val is unordered (zone maps prune nothing), ref lands
+		// uniformly in the parent's key space.
+		rng = rng*6364136223846793005 + 1442695040888963407
+		events.Column("val").AppendInt((rng >> 33) % 1000)
+		if parent != nil {
+			events.Column("ref").AppendInt((rng >> 13) % int64(parent.NumRows()))
+		} else {
+			events.Column("ref").AppendInt(0)
+		}
+	}
+	env.Cat.Add(events)
+
+	const n = int64(e13Rows)
+	mkPred := func(col string, op query.CmpOp, lo, hi int64) query.Pred {
+		return query.Pred{Alias: "vec_events", Column: col, Op: op, Val: data.IntVal(lo), Val2: data.IntVal(hi)}
+	}
+	type bq struct {
+		label string
+		q     *query.Query
+	}
+	scan := func(label string, p query.Pred) bq {
+		return bq{label, &query.Query{
+			Refs:  []query.TableRef{{Alias: "vec_events", Table: "vec_events"}},
+			Preds: []query.Pred{p},
+		}}
+	}
+	cases := []bq{
+		scan("clustered point Eq", mkPred("id", query.Eq, n/3, 0)),
+		scan("clustered Between 1%", mkPred("id", query.Between, n/2, n/2+n/100)),
+		scan("clustered Between 50%", mkPred("id", query.Between, n/4, n/4+n/2)),
+		scan("clustered Ge tail 5%", mkPred("id", query.Ge, n-n/20, 0)),
+		scan("unclustered Eq", mkPred("val", query.Eq, 500, 0)),
+	}
+	if parent != nil {
+		cases = append(cases, bq{fmt.Sprintf("join %s + 2%% scan", parent.Name), &query.Query{
+			Refs: []query.TableRef{
+				{Alias: "vec_events", Table: "vec_events"},
+				{Alias: parent.Name, Table: parent.Name},
+			},
+			Joins: []query.Join{{LeftAlias: "vec_events", LeftCol: "ref", RightAlias: parent.Name, RightCol: "id"}},
+			Preds: []query.Pred{mkPred("id", query.Between, n/2, n/2+n/50)},
+		}})
+	}
+
+	r := &Report{
+		ID:     "E13",
+		Title:  fmt.Sprintf("Vectorized kernels vs scalar filter, dataset=%s, table=vec_events (%d rows, repeat=%d)", env.Name, n, repeat),
+		Header: []string{"query", "rows out", "scalar ms", "vec ms", "speedup", "blocks", "skipped"},
+	}
+
+	scalar := exec.New(env.Cat)
+	scalar.NoVec = true
+	vec := exec.New(env.Cat)
+	best := func(ex *exec.Executor, q *query.Query) (int64, float64, error) {
+		p, err := exec.CanonicalPlan(q)
+		if err != nil {
+			return 0, 0, err
+		}
+		var count int64
+		bestMS := 0.0
+		for i := 0; i < repeat; i++ {
+			start := time.Now()
+			res, err := ex.Run(q, p)
+			if err != nil {
+				return 0, 0, err
+			}
+			ms := float64(time.Since(start).Microseconds()) / 1000
+			if i == 0 || ms < bestMS {
+				bestMS = ms
+			}
+			count = res.Count
+		}
+		return count, bestMS, nil
+	}
+	for _, c := range cases {
+		sc, sMS, err := best(scalar, c.q)
+		if err != nil {
+			return nil, fmt.Errorf("E13 %s (scalar): %w", c.label, err)
+		}
+		vc, vMS, err := best(vec, c.q)
+		if err != nil {
+			return nil, fmt.Errorf("E13 %s (vec): %w", c.label, err)
+		}
+		if sc != vc {
+			return nil, fmt.Errorf("E13 %s: scalar count %d != vectorized count %d", c.label, sc, vc)
+		}
+		p, err := exec.CanonicalPlan(c.q)
+		if err != nil {
+			return nil, err
+		}
+		_, pt, err := vec.RunAnalyze(context.Background(), c.q, p)
+		if err != nil {
+			return nil, err
+		}
+		total, skipped := pt.Blocks()
+		r.AddRow(c.label, fmt.Sprintf("%d", vc), F(sMS), F(vMS), F(sMS/vMS), fmt.Sprintf("%d", total), fmt.Sprintf("%d", skipped))
+	}
+	r.Notes = append(r.Notes,
+		"both paths return identical counts and identical WorkUnits (pruned blocks still charge canonical per-row work)",
+		"blocks/skipped: zone-map pruning over 1024-row blocks, from EXPLAIN ANALYZE telemetry",
+		"scalar = Executor.NoVec (row-at-a-time matchesAll); vec = block kernels + zone-map skipping; ms is best of repeat runs",
+		"clustered preds hit the sequential id column (zone maps prune); unclustered Eq hits the shuffled val column (kernels alone)",
+	)
+	return r, nil
+}

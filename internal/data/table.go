@@ -3,6 +3,7 @@ package data
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // Column is a typed, fully materialized column. Int and dictionary-encoded
@@ -13,6 +14,12 @@ type Column struct {
 	Ints []int64
 	Flts []float64
 	Dict *Dict // non-nil iff Kind == String
+
+	// Lazily built, atomically published summaries (see zonemap.go).
+	// Append* invalidates all three.
+	zones    atomic.Pointer[ZoneMap]
+	mm       atomic.Pointer[minMaxCache]
+	distinct atomic.Pointer[int64]
 }
 
 // Len returns the number of values stored.
@@ -40,10 +47,16 @@ func (c *Column) Float(i int) float64 {
 }
 
 // AppendInt appends v; the column must not be a Float column.
-func (c *Column) AppendInt(v int64) { c.Ints = append(c.Ints, v) }
+func (c *Column) AppendInt(v int64) {
+	c.Ints = append(c.Ints, v)
+	c.invalidate()
+}
 
 // AppendFloat appends v; the column must be a Float column.
-func (c *Column) AppendFloat(v float64) { c.Flts = append(c.Flts, v) }
+func (c *Column) AppendFloat(v float64) {
+	c.Flts = append(c.Flts, v)
+	c.invalidate()
+}
 
 // AppendString interns s and appends its code; the column must be a String
 // column.
@@ -52,42 +65,56 @@ func (c *Column) AppendString(s string) {
 		c.Dict = NewDict()
 	}
 	c.Ints = append(c.Ints, c.Dict.Code(s))
+	c.invalidate()
 }
 
 // MinMax returns the smallest and largest value in the numeric domain.
-// ok is false for an empty column.
+// ok is false for an empty column. The result is cached; Append*
+// invalidates it.
 func (c *Column) MinMax() (lo, hi float64, ok bool) {
-	n := c.Len()
-	if n == 0 {
-		return 0, 0, false
+	if s := c.mm.Load(); s != nil {
+		return s.lo, s.hi, s.ok
 	}
-	lo, hi = c.Float(0), c.Float(0)
-	for i := 1; i < n; i++ {
-		v := c.Float(i)
-		if v < lo {
-			lo = v
-		}
-		if v > hi {
-			hi = v
+	s := &minMaxCache{}
+	if n := c.Len(); n > 0 {
+		s.lo, s.hi, s.ok = c.Float(0), c.Float(0), true
+		for i := 1; i < n; i++ {
+			v := c.Float(i)
+			if v < s.lo {
+				s.lo = v
+			}
+			if v > s.hi {
+				s.hi = v
+			}
 		}
 	}
-	return lo, hi, true
+	c.mm.Store(s)
+	return s.lo, s.hi, s.ok
 }
 
-// DistinctCount returns the exact number of distinct values.
+// DistinctCount returns the exact number of distinct values. The result
+// is cached; Append* invalidates it.
 func (c *Column) DistinctCount() int {
+	if d := c.distinct.Load(); d != nil {
+		return int(*d)
+	}
+	var n int
 	if c.Kind == Float {
 		seen := make(map[float64]struct{}, len(c.Flts))
 		for _, v := range c.Flts {
 			seen[v] = struct{}{}
 		}
-		return len(seen)
+		n = len(seen)
+	} else {
+		seen := make(map[int64]struct{}, len(c.Ints))
+		for _, v := range c.Ints {
+			seen[v] = struct{}{}
+		}
+		n = len(seen)
 	}
-	seen := make(map[int64]struct{}, len(c.Ints))
-	for _, v := range c.Ints {
-		seen[v] = struct{}{}
-	}
-	return len(seen)
+	d := int64(n)
+	c.distinct.Store(&d)
+	return n
 }
 
 // Table is a named collection of equal-length columns.

@@ -91,6 +91,12 @@ type Executor struct {
 	// operators. 0 means DefaultBatchSize. It trades per-batch overhead
 	// against in-flight memory and never affects results.
 	BatchSize int
+	// NoVec disables the vectorized filter kernels and zone-map block
+	// skipping (kernels.go), forcing the scalar row-at-a-time filter
+	// path. Results, TrueCard labels and charged WorkUnits are identical
+	// either way; the flag exists for A/B benchmarking (lqo-bench -novec)
+	// and as an escape hatch.
+	NoVec bool
 }
 
 // New returns an executor over cat.
@@ -179,9 +185,18 @@ func bindPredCols(tbl *data.Table, preds []query.Pred) ([]*data.Column, error) {
 	return cols, nil
 }
 
+// matchesAll is the scalar row-at-a-time filter: every predicate against
+// its bound column at row. Int and dictionary-encoded String columns
+// compare through the exact int64 path — float64 loses exactness above
+// 2^53, so the old all-float route conflated adjacent large keys.
 func matchesAll(cols []*data.Column, preds []query.Pred, row int) bool {
 	for i, p := range preds {
-		if !p.Matches(cols[i].Float(row)) {
+		c := cols[i]
+		if c.Kind == data.Float {
+			if !p.Matches(c.Flts[row]) {
+				return false
+			}
+		} else if !p.MatchesInt(c.Ints[row]) {
 			return false
 		}
 	}

@@ -85,6 +85,53 @@ func compositeKey(t []int32, kcs []keyCol) uint64 {
 	return h
 }
 
+// keyGather is the typed key-extraction path for one side of a hash
+// join: the key column's []int64 storage and tuple position are resolved
+// once, so per-tuple extraction is a direct slice index instead of a
+// per-row column dispatch. Single-column keys (the overwhelmingly common
+// case) skip FNV mixing entirely — the raw int64 value is the map key,
+// which is injective, so the keysEqual re-check only ever confirms.
+// Output is independent of the keying scheme either way: matches emit in
+// build order filtered by keysEqual, whatever the bucketing.
+type keyGather struct {
+	single bool
+	pos    int
+	ints   []int64
+	kcs    []keyCol
+}
+
+func newKeyGather(kcs []keyCol) keyGather {
+	if len(kcs) == 1 {
+		return keyGather{single: true, pos: kcs[0].pos, ints: kcs[0].col.Ints, kcs: kcs}
+	}
+	return keyGather{kcs: kcs}
+}
+
+// key extracts one tuple's join key.
+func (g *keyGather) key(t []int32) uint64 {
+	if g.single {
+		return uint64(g.ints[t[g.pos]])
+	}
+	return compositeKey(t, g.kcs)
+}
+
+// gather bulk-extracts the keys of tuples into dst (reused when its
+// capacity suffices) — the build side's one-pass typed key gather.
+func (g *keyGather) gather(tuples [][]int32, dst []uint64) []uint64 {
+	dst = dst[:0]
+	if g.single {
+		ints, pos := g.ints, g.pos
+		for _, t := range tuples {
+			dst = append(dst, uint64(ints[t[pos]]))
+		}
+		return dst
+	}
+	for _, t := range tuples {
+		dst = append(dst, compositeKey(t, g.kcs))
+	}
+	return dst
+}
+
 func keysEqual(lt []int32, lks []keyCol, rt []int32, rks []keyCol) bool {
 	for i := range lks {
 		if lks[i].col.Ints[lt[lks[i].pos]] != rks[i].col.Ints[rt[rks[i].pos]] {
@@ -107,6 +154,7 @@ type hashJoinOp struct {
 	ctx      context.Context
 	lks, rks []keyCol
 	bks, pks []keyCol
+	bg, pg   keyGather
 
 	started      bool
 	buildIsRight bool
@@ -210,14 +258,17 @@ func (j *hashJoinOp) start() error {
 		j.probeBuf = leftPrefix
 		j.probeStream = !leftDone
 	}
+	j.bg, j.pg = newKeyGather(j.bks), newKeyGather(j.pks)
+	// Bulk-gather the build keys in one typed pass, then insert.
+	keys := j.bg.gather(j.build, nil)
 	j.ht = make(map[uint64][]int32, len(j.build))
-	for ti, t := range j.build {
+	for ti := range j.build {
 		if ti%cancelCheckRows == 0 {
 			if err := j.ctx.Err(); err != nil {
 				return err
 			}
 		}
-		j.ht[compositeKey(t, j.bks)] = append(j.ht[compositeKey(t, j.bks)], int32(ti))
+		j.ht[keys[ti]] = append(j.ht[keys[ti]], int32(ti))
 	}
 	return nil
 }
@@ -225,7 +276,7 @@ func (j *hashJoinOp) start() error {
 // emit appends the matches of one probe tuple to buf in build order,
 // oriented left-tuple-first.
 func (j *hashJoinOp) emit(pt []int32, buf [][]int32) [][]int32 {
-	h := compositeKey(pt, j.pks)
+	h := j.pg.key(pt)
 	for _, bi := range j.ht[h] {
 		bt := j.build[bi]
 		if !keysEqual(pt, j.pks, bt, j.bks) {

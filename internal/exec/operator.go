@@ -58,6 +58,15 @@ type OpTelemetry struct {
 	Batches int64         // batches emitted
 	Wall    time.Duration // inclusive wall-clock across Open and Next
 
+	// Zone-map pruning evidence for vectorized sequential scans: how many
+	// fixed-size blocks the table spans and how many were proven
+	// non-matching and never scanned. Both zero for non-scan operators,
+	// predicate-free scans, and NoVec runs. Skipped blocks still charge
+	// the canonical per-row work (pruning never changes WorkUnits); these
+	// counters are the only place pruning is visible.
+	BlocksTotal   int64
+	BlocksSkipped int64
+
 	tuplesRead   int64
 	tuplesJoined int64
 	indexLookups int64

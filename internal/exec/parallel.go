@@ -70,14 +70,27 @@ func runSpans(spans []span, fn func(i int, s span)) {
 }
 
 // filterRows evaluates preds over rows [0, nrows) and returns the
-// matching row ids as single-column tuples, in row order. With Workers>1
-// and a large enough table the scan is partitioned; cols are read-only
-// and shared across workers. Every partition (and the serial path) checks
-// ctx cooperatively, so a canceled query stops scanning within
-// cancelCheckRows rows per worker.
+// matching row ids as single-column tuples, in row order. Filtering runs
+// the vectorized block kernels with zone-map pruning (kernels.go) unless
+// NoVec forces the scalar row loop; output is identical either way. With
+// Workers>1 and a large enough table the scan is partitioned; cols are
+// read-only and shared across workers. Every partition (and the serial
+// path) checks ctx cooperatively, so a canceled query stops scanning
+// within cancelCheckRows rows per worker.
 func (e *Executor) filterRows(ctx context.Context, nrows int, cols []*data.Column, preds []query.Pred) ([][]int32, error) {
+	var bf *blockFilter
+	if !e.NoVec {
+		bf = newBlockFilter(cols, preds, nrows)
+	}
 	w := e.workers()
 	if w == 1 || nrows < parallelMinRows {
+		if bf != nil {
+			out := filterSpanTuples(ctx, bf, 0, nrows)
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return out, nil
+		}
 		var out [][]int32
 		for i := 0; i < nrows; i++ {
 			if i%cancelCheckRows == 0 {
@@ -93,18 +106,24 @@ func (e *Executor) filterRows(ctx context.Context, nrows int, cols []*data.Colum
 	}
 	spans := splitSpans(nrows, w)
 	bufs := make([][][]int32, len(spans))
-	runSpans(spans, func(si int, s span) {
-		var buf [][]int32
-		for i := s.lo; i < s.hi; i++ {
-			if (i-s.lo)%cancelCheckRows == 0 && ctx.Err() != nil {
-				return // partial buffer discarded below
+	if bf != nil {
+		runSpans(spans, func(si int, s span) {
+			bufs[si] = filterSpanTuples(ctx, bf, s.lo, s.hi)
+		})
+	} else {
+		runSpans(spans, func(si int, s span) {
+			var buf [][]int32
+			for i := s.lo; i < s.hi; i++ {
+				if (i-s.lo)%cancelCheckRows == 0 && ctx.Err() != nil {
+					return // partial buffer discarded below
+				}
+				if matchesAll(cols, preds, i) {
+					buf = append(buf, []int32{int32(i)})
+				}
 			}
-			if matchesAll(cols, preds, i) {
-				buf = append(buf, []int32{int32(i)})
-			}
-		}
-		bufs[si] = buf
-	})
+			bufs[si] = buf
+		})
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -118,8 +137,9 @@ func (e *Executor) filterRows(ctx context.Context, nrows int, cols []*data.Colum
 // path would report it: the total output exceeds limit. Cancellation is
 // checked cooperatively on both the serial and partitioned paths.
 func (e *Executor) probeHash(ctx context.Context, probe, build *Relation, ht map[uint64][]int32, pks, bks []keyCol, buildIsRight bool, limit int) ([][]int32, bool, error) {
+	pg := newKeyGather(pks)
 	emit := func(pt []int32, buf [][]int32) [][]int32 {
-		h := compositeKey(pt, pks)
+		h := pg.key(pt)
 		for _, bi := range ht[h] {
 			bt := build.Tuples[bi]
 			if !keysEqual(pt, pks, bt, bks) {

@@ -267,15 +267,16 @@ func (e *Executor) evalJoin(ctx context.Context, q *query.Query, n *plan.Node, l
 		bks, pks = lks, rks
 		buildIsRight = false
 	}
+	bg := newKeyGather(bks)
+	keys := bg.gather(build.Tuples, nil)
 	ht := make(map[uint64][]int32, build.Len())
-	for ti, t := range build.Tuples {
+	for ti := range build.Tuples {
 		if ti%cancelCheckRows == 0 {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
 		}
-		h := compositeKey(t, bks)
-		ht[h] = append(ht[h], int32(ti))
+		ht[keys[ti]] = append(ht[keys[ti]], int32(ti))
 	}
 	limit := e.maxRows()
 	tuples, capExceeded, err := e.probeHash(ctx, probe, build, ht, pks, bks, buildIsRight, limit)

@@ -29,6 +29,8 @@ type seqScanOp struct {
 	cols  []*data.Column
 	preds []query.Pred
 	nrows int
+	bf    *blockFilter // compiled vectorized filter; nil under NoVec
+	sel   []int32      // reusable selection vector for the serial path
 
 	cursor  int       // next unread input row
 	pending [][]int32 // filtered tuples awaiting emission
@@ -57,8 +59,15 @@ func (s *seqScanOp) Open(ctx context.Context) error {
 	}
 	s.cols = cols
 	s.nrows = tbl.NumRows()
+	if !s.e.NoVec {
+		s.bf = newBlockFilter(cols, s.preds, s.nrows)
+		s.tel.BlocksTotal, s.tel.BlocksSkipped = s.bf.blocks()
+	}
 	s.tel.RowsIn = int64(s.nrows)
 	s.tel.tuplesRead = int64(s.nrows)
+	// Charges are analytic over the full table: pruned blocks still pay
+	// the canonical per-row read/predicate work, keeping WorkUnits (and
+	// every learned-cost training label) identical with pruning on or off.
 	s.tel.charges = append(s.tel.charges,
 		cStartup,
 		float64(s.nrows)*(cRead+cPred*float64(len(s.preds))))
@@ -89,10 +98,19 @@ func (s *seqScanOp) Next() (*Batch, error) {
 
 // fill refills pending from the next chunk of input rows: serially up to a
 // batch of matches, or one span-partitioned segment on the worker pool.
+// Both paths run the vectorized block kernels unless NoVec forced the
+// scalar row loop; output content and order are identical either way.
 func (s *seqScanOp) fill() error {
 	w := s.e.workers()
 	if w == 1 || s.nrows < parallelMinRows {
-		bs := s.e.batchSize()
+		return s.fillSerial()
+	}
+	return s.fillParallel(w)
+}
+
+func (s *seqScanOp) fillSerial() error {
+	bs := s.e.batchSize()
+	if s.bf == nil { // NoVec: scalar row-at-a-time filtering
 		for s.cursor < s.nrows && len(s.pending) < bs {
 			if s.cursor%cancelCheckRows == 0 {
 				if err := s.ctx.Err(); err != nil {
@@ -106,6 +124,27 @@ func (s *seqScanOp) fill() error {
 		}
 		return nil
 	}
+	// Vectorized: one zone block per step, skipped entirely when pruned.
+	// The cursor only ever rests on block boundaries (or 0).
+	for s.cursor < s.nrows && len(s.pending) < bs {
+		if err := s.ctx.Err(); err != nil {
+			return err
+		}
+		b := s.cursor / data.ZoneBlockSize
+		end := (b + 1) * data.ZoneBlockSize
+		if end > s.nrows {
+			end = s.nrows
+		}
+		if s.bf.pruned == nil || !s.bf.pruned[b] {
+			s.sel = s.bf.filterRange(int32(s.cursor), int32(end), s.sel[:0])
+			s.pending = appendTuples(s.pending, s.sel)
+		}
+		s.cursor = end
+	}
+	return nil
+}
+
+func (s *seqScanOp) fillParallel(w int) error {
 	for len(s.pending) == 0 && s.cursor < s.nrows {
 		hi := s.cursor + w*scanSegmentRows
 		if hi > s.nrows {
@@ -114,18 +153,24 @@ func (s *seqScanOp) fill() error {
 		spans := splitSpans(hi-s.cursor, w)
 		bufs := make([][][]int32, len(spans))
 		lo := s.cursor
-		runSpans(spans, func(si int, sp span) {
-			var buf [][]int32
-			for i := lo + sp.lo; i < lo+sp.hi; i++ {
-				if (i-lo-sp.lo)%cancelCheckRows == 0 && s.ctx.Err() != nil {
-					return // partial buffer discarded by the ctx check below
+		if s.bf != nil {
+			runSpans(spans, func(si int, sp span) {
+				bufs[si] = filterSpanTuples(s.ctx, s.bf, lo+sp.lo, lo+sp.hi)
+			})
+		} else {
+			runSpans(spans, func(si int, sp span) {
+				var buf [][]int32
+				for i := lo + sp.lo; i < lo+sp.hi; i++ {
+					if (i-lo-sp.lo)%cancelCheckRows == 0 && s.ctx.Err() != nil {
+						return // partial buffer discarded by the ctx check below
+					}
+					if matchesAll(s.cols, s.preds, i) {
+						buf = append(buf, []int32{int32(i)})
+					}
 				}
-				if matchesAll(s.cols, s.preds, i) {
-					buf = append(buf, []int32{int32(i)})
-				}
-			}
-			bufs[si] = buf
-		})
+				bufs[si] = buf
+			})
+		}
 		if err := s.ctx.Err(); err != nil {
 			return err
 		}
@@ -141,7 +186,7 @@ func (s *seqScanOp) finish() {
 	s.node.TrueCard = float64(s.tel.RowsOut)
 }
 
-func (s *seqScanOp) Close() error               { s.pending = nil; s.out.Tuples = nil; return nil }
+func (s *seqScanOp) Close() error               { s.pending, s.sel, s.out.Tuples = nil, nil, nil; return nil }
 func (s *seqScanOp) Telemetry() *OpTelemetry    { return &s.tel }
 func (s *seqScanOp) Schema() []string           { return []string{s.node.Alias} }
 func (s *seqScanOp) Children() []Operator       { return nil }
@@ -157,6 +202,8 @@ type indexScanOp struct {
 	rows []int32
 	cols []*data.Column
 	rest []query.Pred
+	bf   *blockFilter // residual-filter kernels; nil under NoVec
+	sel  []int32      // reusable selection vector
 
 	cursor int
 	done   bool
@@ -202,6 +249,12 @@ func (s *indexScanOp) Open(ctx context.Context) error {
 		return err
 	}
 	s.cols = cols
+	if !s.e.NoVec {
+		// An index scan's rows are a scattered posting list, so residual
+		// predicates run refine kernels over it; zone-map pruning does not
+		// apply (no prune bitmap is built).
+		s.bf = &blockFilter{preds: compilePreds(cols, s.rest)}
+	}
 	s.tel.RowsIn = int64(len(s.rows))
 	s.tel.tuplesRead = int64(len(s.rows))
 	s.tel.indexLookups = 1
@@ -221,16 +274,34 @@ func (s *indexScanOp) Next() (*Batch, error) {
 	}
 	bs := s.e.batchSize()
 	s.out.Tuples = s.out.Tuples[:0]
-	for s.cursor < len(s.rows) && len(s.out.Tuples) < bs {
-		if s.cursor%cancelCheckRows == 0 {
+	if s.bf != nil {
+		// Vectorized residual filtering: copy a chunk of the posting list
+		// into the reusable selection vector, refine it through every
+		// conjunct, and materialize the survivors.
+		for s.cursor < len(s.rows) && len(s.out.Tuples) < bs {
 			if err := s.ctx.Err(); err != nil {
 				return nil, err
 			}
+			take := bs - len(s.out.Tuples)
+			if rem := len(s.rows) - s.cursor; take > rem {
+				take = rem
+			}
+			s.sel = append(s.sel[:0], s.rows[s.cursor:s.cursor+take]...)
+			s.out.Tuples = appendTuples(s.out.Tuples, s.bf.refineIDs(s.sel))
+			s.cursor += take
 		}
-		r := s.rows[s.cursor]
-		s.cursor++
-		if matchesAll(s.cols, s.rest, int(r)) {
-			s.out.Tuples = append(s.out.Tuples, []int32{r})
+	} else {
+		for s.cursor < len(s.rows) && len(s.out.Tuples) < bs {
+			if s.cursor%cancelCheckRows == 0 {
+				if err := s.ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			r := s.rows[s.cursor]
+			s.cursor++
+			if matchesAll(s.cols, s.rest, int(r)) {
+				s.out.Tuples = append(s.out.Tuples, []int32{r})
+			}
 		}
 	}
 	if len(s.out.Tuples) == 0 {
@@ -244,7 +315,7 @@ func (s *indexScanOp) Next() (*Batch, error) {
 	return &s.out, nil
 }
 
-func (s *indexScanOp) Close() error            { s.rows = nil; s.out.Tuples = nil; return nil }
+func (s *indexScanOp) Close() error            { s.rows, s.sel, s.out.Tuples = nil, nil, nil; return nil }
 func (s *indexScanOp) Telemetry() *OpTelemetry { return &s.tel }
 func (s *indexScanOp) Schema() []string        { return []string{s.node.Alias} }
 func (s *indexScanOp) Children() []Operator    { return nil }

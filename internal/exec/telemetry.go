@@ -53,6 +53,17 @@ func (pt *PlanTelemetry) Stats() CostStats {
 	return st
 }
 
+// Blocks sums the zone-map pruning evidence over every operator: how
+// many blocks the plan's vectorized scans covered and how many they
+// skipped. Both zero for NoVec runs and predicate-free plans.
+func (pt *PlanTelemetry) Blocks() (total, skipped int64) {
+	for _, t := range pt.Ops {
+		total += t.BlocksTotal
+		skipped += t.BlocksSkipped
+	}
+	return total, skipped
+}
+
 // ByNode returns the telemetry of the operator that executed plan node n.
 func (pt *PlanTelemetry) ByNode(n *plan.Node) (*OpTelemetry, bool) {
 	t, ok := pt.byNode[n]

@@ -354,10 +354,12 @@ func (e *Engine) ExplainAnalyze(ctx context.Context, sess *Session, sql string) 
 			return plan.Actuals{}, false
 		}
 		return plan.Actuals{
-			Rows:    float64(t.RowsOut),
-			Work:    t.WorkUnits(),
-			Wall:    t.Wall,
-			Batches: t.Batches,
+			Rows:          float64(t.RowsOut),
+			Work:          t.WorkUnits(),
+			Wall:          t.Wall,
+			Batches:       t.Batches,
+			BlocksTotal:   t.BlocksTotal,
+			BlocksSkipped: t.BlocksSkipped,
 		}, true
 	})
 	return out, &Result{Count: res.Count, Value: res.Value, Latency: res.Stats.WorkUnits, Plan: p}, nil

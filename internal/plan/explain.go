@@ -14,6 +14,10 @@ type Actuals struct {
 	Work    float64       // work units charged to this operator alone
 	Wall    time.Duration // wall-clock inside the operator
 	Batches int64         // batches emitted
+	// Zone-map pruning evidence for vectorized scans: blocks covered and
+	// blocks skipped without scanning. Rendered only when BlocksTotal > 0.
+	BlocksTotal   int64
+	BlocksSkipped int64
 }
 
 // RenderAnalyze renders the EXPLAIN ANALYZE view of an executed plan:
@@ -48,8 +52,12 @@ func RenderAnalyze(root *Node, lookup func(*Node) (Actuals, bool)) string {
 			fmt.Fprintf(&b, "%s on %s", n.Op, strings.Join(strs, " AND "))
 		}
 		if a, ok := lookup(n); ok {
-			fmt.Fprintf(&b, "  (est=%.0f actual=%.0f work=%.1f time=%s batches=%d)",
+			fmt.Fprintf(&b, "  (est=%.0f actual=%.0f work=%.1f time=%s batches=%d",
 				n.EstCard, a.Rows, a.Work, a.Wall.Round(time.Microsecond), a.Batches)
+			if a.BlocksTotal > 0 {
+				fmt.Fprintf(&b, " blocks=%d skipped=%d", a.BlocksTotal, a.BlocksSkipped)
+			}
+			b.WriteString(")")
 		} else {
 			fmt.Fprintf(&b, "  (est=%.0f actual=-)", n.EstCard)
 		}

@@ -1,0 +1,59 @@
+package query
+
+import (
+	"testing"
+
+	"lqo/internal/data"
+)
+
+// TestMatchesIntLargeKeys is the regression test for exact int64
+// predicate compares: float64 cannot represent every int64 above 2^53,
+// so the old float path conflated adjacent large keys (2^53 and 2^53+1
+// both become 9007199254740992.0). MatchesInt must distinguish them.
+func TestMatchesIntLargeKeys(t *testing.T) {
+	const big = int64(1) << 53 // 9007199254740992; big+1 is not a float64
+	cases := []struct {
+		name string
+		p    Pred
+		v    int64
+		want bool
+	}{
+		{"eq-exact", Pred{Op: Eq, Val: data.IntVal(big + 1)}, big + 1, true},
+		{"eq-adjacent", Pred{Op: Eq, Val: data.IntVal(big + 1)}, big, false},
+		{"ne-adjacent", Pred{Op: Ne, Val: data.IntVal(big + 1)}, big, true},
+		{"lt-adjacent", Pred{Op: Lt, Val: data.IntVal(big + 1)}, big, true},
+		{"le-exact", Pred{Op: Le, Val: data.IntVal(big)}, big + 1, false},
+		{"gt-adjacent", Pred{Op: Gt, Val: data.IntVal(big)}, big + 1, true},
+		{"ge-adjacent", Pred{Op: Ge, Val: data.IntVal(big + 1)}, big, false},
+		{"between-tight", Pred{Op: Between, Val: data.IntVal(big + 1), Val2: data.IntVal(big + 1)}, big, false},
+		{"between-hit", Pred{Op: Between, Val: data.IntVal(big + 1), Val2: data.IntVal(big + 2)}, big + 2, true},
+	}
+	for _, tc := range cases {
+		if got := tc.p.MatchesInt(tc.v); got != tc.want {
+			t.Errorf("%s: MatchesInt(%d) = %v, want %v", tc.name, tc.v, got, tc.want)
+		}
+		// The float path demonstrably cannot make some of these
+		// distinctions; MatchesInt on small keys must still agree with it.
+	}
+
+	// Small keys: MatchesInt agrees with the float Matches path.
+	for _, op := range []CmpOp{Eq, Ne, Lt, Le, Gt, Ge} {
+		for v := int64(-3); v <= 3; v++ {
+			p := Pred{Op: op, Val: data.IntVal(1)}
+			if got, want := p.MatchesInt(v), p.Matches(float64(v)); got != want {
+				t.Errorf("op %s v=%d: MatchesInt=%v Matches=%v", op, v, got, want)
+			}
+		}
+	}
+
+	// Mixed kinds: a float literal against an int value keeps the float
+	// semantics of Matches.
+	mixed := Pred{Op: Gt, Val: data.FloatVal(2.5)}
+	if !mixed.MatchesInt(3) || mixed.MatchesInt(2) {
+		t.Error("mixed-kind predicate lost float semantics")
+	}
+	mb := Pred{Op: Between, Val: data.IntVal(1), Val2: data.FloatVal(2.5)}
+	if !mb.MatchesInt(2) || mb.MatchesInt(3) {
+		t.Error("mixed-kind Between lost float semantics")
+	}
+}

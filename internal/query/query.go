@@ -87,6 +87,37 @@ func (p Pred) Matches(v float64) bool {
 	}
 }
 
+// MatchesInt reports whether the int64 value v (an Int column value or a
+// String column's dictionary code) satisfies the predicate. When the
+// predicate's value is itself integral the comparison happens exactly in
+// int64 — float64 cannot represent every int64 above 2^53, so the float
+// path of Matches would conflate adjacent large keys. Mixed-kind
+// comparisons (a float literal against an int column) keep the float
+// semantics of Matches.
+func (p Pred) MatchesInt(v int64) bool {
+	if p.Val.K == data.Float || (p.Op == Between && p.Val2.K == data.Float) {
+		return p.Matches(float64(v))
+	}
+	switch p.Op {
+	case Eq:
+		return v == p.Val.I
+	case Ne:
+		return v != p.Val.I
+	case Lt:
+		return v < p.Val.I
+	case Le:
+		return v <= p.Val.I
+	case Gt:
+		return v > p.Val.I
+	case Ge:
+		return v >= p.Val.I
+	case Between:
+		return v >= p.Val.I && v <= p.Val2.I
+	default:
+		return false
+	}
+}
+
 // Bounds returns the selected numeric range [lo, hi] implied by the
 // predicate, using ±inf sentinels supplied by the caller for open sides.
 // Ne predicates select the full range (their selectivity is handled
