@@ -2,17 +2,28 @@
 #
 #   make build   — compile everything
 #   make test    — tier-1: the fast correctness suite
+#   make lint    — lqolint: the repo's invariant analyzers (cmd/lqo-lint)
 #   make race    — full suite under the race detector
 #   make fuzz    — short fuzz smoke over the SQL parser
-#   make verify  — what CI runs: build + vet + tests + race + fuzz smoke
+#   make verify  — what CI runs: build + vet + lint + tests + race + fuzz
+#                  smoke, then staticcheck & govulncheck (skipped offline)
 #   make bench   — regenerate every experiment table (E1..E10, E13)
 #   make bench-smoke — compile-and-run every Go benchmark once (no timing)
 #   make chaos   — E10 only: guardrail runtime under fault injection
 
 GO ?= go
+
+# Third-party checkers, pinned and run straight from the module proxy so
+# no binary needs to be vendored or installed. Offline environments skip
+# them gracefully (the resolve step fails, not the check).
+STATICCHECK_MOD ?= honnef.co/go/tools
+STATICCHECK_VERSION ?= 2024.1.1
+GOVULNCHECK_MOD ?= golang.org/x/vuln
+GOVULNCHECK_VERSION ?= v1.1.3
+
 FUZZTIME ?= 10s
 
-.PHONY: build test vet race fuzz verify bench bench-smoke chaos
+.PHONY: build test vet lint staticcheck govulncheck race fuzz verify bench bench-smoke chaos
 
 build:
 	$(GO) build ./...
@@ -23,13 +34,36 @@ test:
 vet:
 	$(GO) vet ./...
 
+# The custom invariant suite: cardclamp, guardsafe, ctxprop, atomicpub,
+# determinism, floateq, lintignore. Exit 2 (including "matched no
+# packages") fails the build just like findings do.
+lint:
+	$(GO) run ./cmd/lqo-lint ./...
+
+# staticcheck and govulncheck need the module proxy (and, for the vuln
+# DB, the network). Probe with `go mod download` first so an offline run
+# skips with a notice instead of failing on the fetch.
+staticcheck:
+	@if $(GO) mod download $(STATICCHECK_MOD)@$(STATICCHECK_VERSION) >/dev/null 2>&1; then \
+		$(GO) run $(STATICCHECK_MOD)/cmd/staticcheck@$(STATICCHECK_VERSION) ./...; \
+	else \
+		echo "staticcheck: $(STATICCHECK_MOD)@$(STATICCHECK_VERSION) unavailable (offline?); skipping"; \
+	fi
+
+govulncheck:
+	@if $(GO) mod download $(GOVULNCHECK_MOD)@$(GOVULNCHECK_VERSION) >/dev/null 2>&1; then \
+		$(GO) run $(GOVULNCHECK_MOD)/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...; \
+	else \
+		echo "govulncheck: $(GOVULNCHECK_MOD)@$(GOVULNCHECK_VERSION) unavailable (offline?); skipping"; \
+	fi
+
 race:
 	$(GO) test -race ./...
 
 fuzz:
 	$(GO) test ./internal/sqlx/ -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME)
 
-verify: build vet test race fuzz
+verify: build vet lint test race fuzz staticcheck govulncheck
 
 bench:
 	$(GO) run ./cmd/lqo-bench -exp all

@@ -9,6 +9,7 @@
 package lqo_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -74,7 +75,7 @@ func BenchmarkE2Drift(b *testing.B) {
 func BenchmarkE3CostModel(b *testing.B) {
 	env := sharedEnv(b)
 	for i := 0; i < b.N; i++ {
-		rep, err := bench.E3CostModel(env)
+		rep, err := bench.E3CostModel(context.Background(), env)
 		report(b, rep, err)
 	}
 }
@@ -106,7 +107,7 @@ func BenchmarkE6Eraser(b *testing.B) {
 func BenchmarkE7PilotScope(b *testing.B) {
 	env := sharedEnv(b)
 	for i := 0; i < b.N; i++ {
-		rep, err := bench.E7PilotScope(env)
+		rep, err := bench.E7PilotScope(context.Background(), env)
 		report(b, rep, err)
 	}
 }
@@ -114,7 +115,7 @@ func BenchmarkE7PilotScope(b *testing.B) {
 func BenchmarkE8Ablations(b *testing.B) {
 	env := sharedEnv(b)
 	for i := 0; i < b.N; i++ {
-		rep, err := bench.E8Ablations(env)
+		rep, err := bench.E8Ablations(context.Background(), env)
 		report(b, rep, err)
 	}
 }

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -74,35 +75,47 @@ func main() {
 		rates = append(rates, v)
 	}
 
+	// The root context of the whole run. Context-aware experiments
+	// (middleware, chaos, plan collection) thread it through to every
+	// query; a future -timeout flag or signal handler only needs to
+	// wrap it here.
+	ctx := context.Background()
+
 	type runner struct {
 		id  string
-		run func(env *bench.Env) (*bench.Report, error)
+		run func(ctx context.Context, env *bench.Env) (*bench.Report, error)
 	}
 	runners := []runner{
-		{"E1", bench.E1Cardinality},
-		{"E2", func(env *bench.Env) (*bench.Report, error) {
+		{"E1", func(_ context.Context, env *bench.Env) (*bench.Report, error) {
+			return bench.E1Cardinality(env)
+		}},
+		{"E2", func(_ context.Context, env *bench.Env) (*bench.Report, error) {
 			return bench.E2Drift(env, []string{"histogram", "gbdt", "mscn", "naru", "spn", "factorjoin", "uae"})
 		}},
 		{"E3", bench.E3CostModel},
-		{"E4", func(env *bench.Env) (*bench.Report, error) {
+		{"E4", func(_ context.Context, env *bench.Env) (*bench.Report, error) {
 			return bench.E4JoinOrder(env, []int{3, 4, 5, 6, 8, 10}, 8)
 		}},
-		{"E5", bench.E5EndToEnd},
-		{"E6", bench.E6Eraser},
+		{"E5", func(_ context.Context, env *bench.Env) (*bench.Report, error) {
+			return bench.E5EndToEnd(env)
+		}},
+		{"E6", func(_ context.Context, env *bench.Env) (*bench.Report, error) {
+			return bench.E6Eraser(env)
+		}},
 		{"E7", bench.E7PilotScope},
 		{"E8", bench.E8Ablations},
-		{"E9", func(env *bench.Env) (*bench.Report, error) {
+		{"E9", func(_ context.Context, env *bench.Env) (*bench.Report, error) {
 			gs := []int{1}
 			if *parallel > 1 {
 				gs = append(gs, *parallel)
 			}
 			return bench.E9Throughput(env, gs, *execWorkers, *repeatFlag, *batchFlag)
 		}},
-		{"E10", func(env *bench.Env) (*bench.Report, error) {
-			return bench.E10Chaos(env, bench.ChaosOptions{Rates: rates, Timeout: *chaosTimeout, Hang: *chaosHang})
+		{"E10", func(ctx context.Context, env *bench.Env) (*bench.Report, error) {
+			return bench.E10Chaos(ctx, env, bench.ChaosOptions{Rates: rates, Timeout: *chaosTimeout, Hang: *chaosHang})
 		}},
-		{"E13", func(env *bench.Env) (*bench.Report, error) {
-			return bench.E13Vectorized(env, *repeatFlag)
+		{"E13", func(ctx context.Context, env *bench.Env) (*bench.Report, error) {
+			return bench.E13Vectorized(ctx, env, *repeatFlag)
 		}},
 	}
 
@@ -118,7 +131,7 @@ func main() {
 		}
 		env.Ex.NoVec = *novecFlag
 		start := time.Now()
-		rep, err := r.run(env)
+		rep, err := r.run(ctx, env)
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", r.id, err))
 		}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -88,7 +89,7 @@ func TestCollectPlansExecutes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plans, err := CollectPlans(env, env.Test)
+	plans, err := CollectPlans(context.Background(), env, env.Test)
 	if err != nil {
 		t.Fatal(err)
 	}

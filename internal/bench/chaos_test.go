@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -15,7 +16,7 @@ func TestE10ChaosFullAvailability(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := E10Chaos(env, ChaosOptions{
+	rep, err := E10Chaos(context.Background(), env, ChaosOptions{
 		Rates:   []float64{0, 0.10, 0.40},
 		Timeout: 2 * time.Millisecond,
 		Hang:    10 * time.Millisecond,
@@ -67,7 +68,7 @@ func TestE10ChaosZeroRateUsesLearnedPath(t *testing.T) {
 	}
 	// A generous decision budget so cold-start planning never times out:
 	// at rate 0 every query must be served by the learned path.
-	rep, err := E10Chaos(env, ChaosOptions{Rates: []float64{0}, Timeout: time.Second})
+	rep, err := E10Chaos(context.Background(), env, ChaosOptions{Rates: []float64{0}, Timeout: time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -19,7 +19,7 @@ import (
 // train on. Each example carries per-operator actuals from the pipeline's
 // telemetry, so sub-plan expansion (costmodel.ExpandSubPlans) can turn
 // one execution into a sample per sub-plan.
-func CollectPlans(env *Env, queries []workload.Labeled) ([]costmodel.TrainPlan, error) {
+func CollectPlans(ctx context.Context, env *Env, queries []workload.Labeled) ([]costmodel.TrainPlan, error) {
 	var out []costmodel.TrainPlan
 	for _, l := range queries {
 		plans, err := env.Base.CandidatePlans(l.Q, plan.BaoHintSets())
@@ -27,7 +27,7 @@ func CollectPlans(env *Env, queries []workload.Labeled) ([]costmodel.TrainPlan, 
 			return nil, err
 		}
 		for _, p := range plans {
-			res, pt, err := env.Ex.RunAnalyze(context.Background(), l.Q, p)
+			res, pt, err := env.Ex.RunAnalyze(ctx, l.Q, p)
 			if err != nil {
 				continue
 			}
@@ -56,12 +56,12 @@ func CollectPlans(env *Env, queries []workload.Labeled) ([]costmodel.TrainPlan, 
 // held-out plans. Expected shape: learned models beat the traditional
 // model on scale (its units are arbitrary) and match or beat its ranking;
 // calibration alone fixes scale but not ranking.
-func E3CostModel(env *Env) (*Report, error) {
-	trainPlans, err := CollectPlans(env, env.Train)
+func E3CostModel(ctx context.Context, env *Env) (*Report, error) {
+	trainPlans, err := CollectPlans(ctx, env, env.Train)
 	if err != nil {
 		return nil, err
 	}
-	testPlans, err := CollectPlans(env, env.Test)
+	testPlans, err := CollectPlans(ctx, env, env.Test)
 	if err != nil {
 		return nil, err
 	}
@@ -70,10 +70,10 @@ func E3CostModel(env *Env) (*Report, error) {
 		Title:  fmt.Sprintf("Learned cost models, dataset=%s (train=%d test=%d plans)", env.Name, len(trainPlans), len(testPlans)),
 		Header: []string{"model", "spearman", "geo-q(latency)", "p95-q"},
 	}
-	ctx := &costmodel.Context{Cat: env.Cat, Stats: env.Stats, Plans: trainPlans, Seed: env.Seed + 3}
+	mctx := &costmodel.Context{Cat: env.Cat, Stats: env.Stats, Plans: trainPlans, Seed: env.Seed + 3}
 	for _, inf := range costmodel.Registry() {
 		m := inf.Make()
-		if err := m.Train(ctx); err != nil {
+		if err := m.Train(mctx); err != nil {
 			return nil, fmt.Errorf("E3 %s: %w", inf.Name, err)
 		}
 		var pred, truth, qerrs []float64

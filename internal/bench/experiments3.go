@@ -21,7 +21,7 @@ import (
 // through push/pull, with workload latency vs native and per-query
 // middleware overhead. Expected shape: drivers match or improve native
 // latency; console overhead is microseconds per query.
-func E7PilotScope(env *Env) (*Report, error) {
+func E7PilotScope(ctx context.Context, env *Env) (*Report, error) {
 	r := &Report{
 		ID:     "E7",
 		Title:  fmt.Sprintf("PilotScope middleware drivers, dataset=%s", env.Name),
@@ -44,7 +44,7 @@ func E7PilotScope(env *Env) (*Report, error) {
 	}
 	natLats := make([]float64, len(env.Test))
 	for i, l := range env.Test {
-		res, err := console.ExecuteQuery(context.Background(), l.Q)
+		res, err := console.ExecuteQuery(ctx, l.Q)
 		if err != nil {
 			return nil, err
 		}
@@ -59,7 +59,7 @@ func E7PilotScope(env *Env) (*Report, error) {
 	}
 	for _, d := range drivers {
 		console.RegisterDriver(d)
-		if err := console.StartTask(context.Background(), d.Name()); err != nil {
+		if err := console.StartTask(ctx, d.Name()); err != nil {
 			return nil, fmt.Errorf("E7 %s: %w", d.Name(), err)
 		}
 		before := console.DriverFailures
@@ -67,7 +67,7 @@ func E7PilotScope(env *Env) (*Report, error) {
 		start := time.Now()
 		var execWork float64
 		for i, l := range env.Test {
-			res, err := console.ExecuteQuery(context.Background(), l.Q)
+			res, err := console.ExecuteQuery(ctx, l.Q)
 			if err != nil {
 				return nil, fmt.Errorf("E7 %s: %w", d.Name(), err)
 			}
@@ -87,7 +87,7 @@ func E7PilotScope(env *Env) (*Report, error) {
 	}
 	// Index advisor: a physical-design task through the same middleware.
 	// It mutates the catalog, so it runs on a private environment copy.
-	if err := e7IndexAdvisor(env, r); err != nil {
+	if err := e7IndexAdvisor(ctx, env, r); err != nil {
 		return nil, err
 	}
 	r.Notes = append(r.Notes,
@@ -141,7 +141,7 @@ func e8WorkloadShift(env *Env, r *Report) error {
 	if len(train) < 20 || len(unseen) < 10 {
 		return nil // not enough template diversity at this scale
 	}
-	ctx := &cardest.Context{Cat: env.Cat, Stats: env.Stats, Train: train, Seed: env.Seed + 9}
+	cctx := &cardest.Context{Cat: env.Cat, Stats: env.Stats, Train: train, Seed: env.Seed + 9}
 	for _, v := range []struct {
 		label string
 		mk    func() *cardest.MSCN
@@ -150,7 +150,7 @@ func e8WorkloadShift(env *Env, r *Report) error {
 		{"robust-mscn", cardest.NewRobustMSCN},
 	} {
 		m := v.mk()
-		if err := m.Train(ctx); err != nil {
+		if err := m.Train(cctx); err != nil {
 			return err
 		}
 		var qerrs []float64
@@ -163,7 +163,7 @@ func e8WorkloadShift(env *Env, r *Report) error {
 }
 
 // e7IndexAdvisor measures the index-advisor driver on a fresh environment.
-func e7IndexAdvisor(env *Env, r *Report) error {
+func e7IndexAdvisor(ctx context.Context, env *Env, r *Report) error {
 	priv, err := NewEnv(env.Name, env.Scale, env.Seed)
 	if err != nil {
 		return err
@@ -180,7 +180,7 @@ func e7IndexAdvisor(env *Env, r *Report) error {
 	console.SetWorkload(trainSQL)
 	before := make([]float64, len(priv.Test))
 	for i, l := range priv.Test {
-		res, err := console.ExecuteQuery(context.Background(), l.Q)
+		res, err := console.ExecuteQuery(ctx, l.Q)
 		if err != nil {
 			return err
 		}
@@ -188,13 +188,13 @@ func e7IndexAdvisor(env *Env, r *Report) error {
 	}
 	adv := pilotscope.NewIndexAdvisorDriver()
 	console.RegisterDriver(adv)
-	if err := console.StartTask(context.Background(), adv.Name()); err != nil {
+	if err := console.StartTask(ctx, adv.Name()); err != nil {
 		return err
 	}
 	start := time.Now()
 	after := make([]float64, len(priv.Test))
 	for i, l := range priv.Test {
-		res, err := console.ExecuteQuery(context.Background(), l.Q)
+		res, err := console.ExecuteQuery(ctx, l.Q)
 		if err != nil {
 			return err
 		}
@@ -214,18 +214,18 @@ func e7IndexAdvisor(env *Env, r *Report) error {
 // out: Bao exploration and value-model architecture, Lero pairwise vs
 // pointwise selection, MSCN's join module, SPN's correlation threshold,
 // and Eraser's two stages (the last lives in E6's table).
-func E8Ablations(env *Env) (*Report, error) {
+func E8Ablations(ctx context.Context, env *Env) (*Report, error) {
 	r := &Report{
 		ID:     "E8",
 		Title:  fmt.Sprintf("Ablations, dataset=%s", env.Name),
 		Header: []string{"ablation", "variant", "metric", "value"},
 	}
-	ctx := &learnedopt.Context{
+	lctx := &learnedopt.Context{
 		Cat: env.Cat, Stats: env.Stats, Ex: env.Ex, Base: env.Base,
 		Workload: labeledQueries(env.Train), Seed: env.Seed + 8,
 	}
 	native := learnedopt.NewNative()
-	if err := native.Train(ctx); err != nil {
+	if err := native.Train(lctx); err != nil {
 		return nil, err
 	}
 	natLats, err := optimizerLatencies(env, native)
@@ -233,6 +233,13 @@ func E8Ablations(env *Env) (*Report, error) {
 		return nil, err
 	}
 	gmrl := func(o learnedopt.Optimizer) (string, error) {
+		// Ablations run many full train+measure cycles; honor the
+		// caller's deadline between groups (Plan/Measure go through the
+		// ctx-free learnedopt.Optimizer interface, so this boundary is
+		// where cancellation is observed).
+		if err := ctx.Err(); err != nil {
+			return "", err
+		}
 		lats, err := optimizerLatencies(env, o)
 		if err != nil {
 			return "", err
@@ -254,7 +261,7 @@ func E8Ablations(env *Env) (*Report, error) {
 		{"exhaustive+treeconv", learnedopt.NewBaoTreeConv},
 	} {
 		b := v.mk()
-		if err := b.Train(ctx); err != nil {
+		if err := b.Train(lctx); err != nil {
 			return nil, fmt.Errorf("E8 bao %s: %w", v.label, err)
 		}
 		g, err := gmrl(b)
@@ -266,7 +273,7 @@ func E8Ablations(env *Env) (*Report, error) {
 
 	// Lero: pairwise vs pointwise selection.
 	lero := learnedopt.NewLero()
-	if err := lero.Train(ctx); err != nil {
+	if err := lero.Train(lctx); err != nil {
 		return nil, err
 	}
 	g, err := gmrl(lero)
@@ -275,7 +282,7 @@ func E8Ablations(env *Env) (*Report, error) {
 	}
 	r.AddRow("lero", "pairwise", "GMRL", g)
 	pw := learnedopt.NewPointwiseLero()
-	if err := pw.Train(ctx); err != nil {
+	if err := pw.Train(lctx); err != nil {
 		return nil, err
 	}
 	g, err = gmrl(pw)
@@ -328,7 +335,7 @@ func E8Ablations(env *Env) (*Report, error) {
 	for _, beam := range []int{1, 4, 8} {
 		neo := learnedopt.NewNeo()
 		neo.Beam = beam
-		if err := neo.Train(ctx); err != nil {
+		if err := neo.Train(lctx); err != nil {
 			return nil, err
 		}
 		g, err := gmrl(neo)

@@ -50,7 +50,7 @@ func (o ChaosOptions) withDefaults() ChaosOptions {
 // claim under test is the tutorial's deployment bar: availability stays
 // at 100% and plan quality degrades gracefully no matter how often the
 // learned component misbehaves.
-func E10Chaos(env *Env, opts ChaosOptions) (*Report, error) {
+func E10Chaos(ctx context.Context, env *Env, opts ChaosOptions) (*Report, error) {
 	opts = opts.withDefaults()
 	r := &Report{
 		ID: "E10",
@@ -99,9 +99,9 @@ func E10Chaos(env *Env, opts ChaosOptions) (*Report, error) {
 			unavailed int
 		)
 		for i, l := range env.Test {
-			ctx, cancel := context.WithTimeout(context.Background(), opts.QueryBudget)
+			qctx, cancel := context.WithTimeout(ctx, opts.QueryBudget)
 			start := time.Now()
-			p, learnedServed, err := g.Plan(ctx, l.Q)
+			p, learnedServed, err := g.Plan(qctx, l.Q)
 			planWall = append(planWall, float64(time.Since(start).Microseconds()))
 			if err != nil || p == nil {
 				unavailed++
@@ -109,7 +109,7 @@ func E10Chaos(env *Env, opts ChaosOptions) (*Report, error) {
 				cancel()
 				continue
 			}
-			res, err := env.Ex.RunCtx(ctx, l.Q, p)
+			res, err := env.Ex.RunCtx(qctx, l.Q, p)
 			cancel()
 			if err != nil {
 				unavailed++

@@ -25,7 +25,7 @@ const e13Rows = 200_000
 // identical on both paths; only wall clock and the blocks-skipped
 // telemetry differ (WorkUnits, the learned cost label, is charged
 // identically by design).
-func E13Vectorized(env *Env, repeat int) (*Report, error) {
+func E13Vectorized(ctx context.Context, env *Env, repeat int) (*Report, error) {
 	if repeat < 1 {
 		repeat = 1
 	}
@@ -133,7 +133,7 @@ func E13Vectorized(env *Env, repeat int) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		_, pt, err := vec.RunAnalyze(context.Background(), c.q, p)
+		_, pt, err := vec.RunAnalyze(ctx, c.q, p)
 		if err != nil {
 			return nil, err
 		}

@@ -28,10 +28,10 @@ type aggSink struct {
 	// by the run loop after the drain.
 	bindErr error
 
-	drained      bool
-	count        int64
-	sum, lo, hi  float64
-	tel          OpTelemetry
+	drained     bool
+	count       int64
+	sum, lo, hi float64
+	tel         OpTelemetry
 }
 
 func newAggSink(e *Executor, q *query.Query, child Operator) *aggSink {

@@ -122,6 +122,7 @@ func (e *Executor) batchSize() int {
 // node's TrueCard and returns the final cardinality, the query's
 // aggregate value, and the measured cost.
 func (e *Executor) Run(q *query.Query, p *plan.Node) (*Result, error) {
+	//lqolint:ignore ctxprop compatibility shim; RunCtx is the context-aware entry point and this wrapper exists for callers with no deadline
 	return e.RunCtx(context.Background(), q, p)
 }
 

@@ -186,10 +186,10 @@ func (s *seqScanOp) finish() {
 	s.node.TrueCard = float64(s.tel.RowsOut)
 }
 
-func (s *seqScanOp) Close() error               { s.pending, s.sel, s.out.Tuples = nil, nil, nil; return nil }
-func (s *seqScanOp) Telemetry() *OpTelemetry    { return &s.tel }
-func (s *seqScanOp) Schema() []string           { return []string{s.node.Alias} }
-func (s *seqScanOp) Children() []Operator       { return nil }
+func (s *seqScanOp) Close() error            { s.pending, s.sel, s.out.Tuples = nil, nil, nil; return nil }
+func (s *seqScanOp) Telemetry() *OpTelemetry { return &s.tel }
+func (s *seqScanOp) Schema() []string        { return []string{s.node.Alias} }
+func (s *seqScanOp) Children() []Operator    { return nil }
 
 // indexScanOp probes an equality index and streams the rows surviving the
 // residual predicates.

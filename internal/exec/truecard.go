@@ -80,6 +80,7 @@ func NewCardCache(ex *Executor) *CardCache {
 
 // TrueCard returns the exact cardinality of q, executing it on first use.
 func (c *CardCache) TrueCard(q *query.Query) (float64, error) {
+	//lqolint:ignore ctxprop compatibility shim; TrueCardCtx is the context-aware entry point and this wrapper exists for callers with no deadline
 	return c.TrueCardCtx(context.Background(), q)
 }
 

@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 
+	"lqo/internal/metrics"
 	"lqo/internal/ml"
 	"lqo/internal/opt"
 	"lqo/internal/plan"
@@ -48,7 +49,7 @@ func (f *stateFeatures) vector(q *query.Query, g *query.JoinGraph, joined map[st
 	// Estimated filtered rows of the candidate and how selective its
 	// filters are relative to incident join edges.
 	sub := q.Subquery(map[string]bool{action: true})
-	rows := f.est.Estimate(sub)
+	rows := metrics.ClampCard(f.est.Estimate(sub))
 	v[base+2] = math.Log1p(rows) / 20
 	v[base+3] = float64(len(g.Edges(action))) / 8
 	return v

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"lqo/internal/costmodel"
+	"lqo/internal/metrics"
 	"lqo/internal/opt"
 	"lqo/internal/plan"
 	"lqo/internal/query"
@@ -27,7 +28,9 @@ func (s *ScaledEstimator) Estimate(q *query.Query) float64 {
 	if k <= 1 || s.Factor == 1 {
 		return base
 	}
-	return base * math.Pow(s.Factor, float64(k-1))
+	// Clamp before scaling: a NaN or negative base estimate would
+	// otherwise poison every scaled candidate at once.
+	return metrics.ClampCard(base) * math.Pow(s.Factor, float64(k-1))
 }
 
 // Lero is the learning-to-rank optimizer [79]: cardinality scaling

@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// IgnorePrefix introduces a suppression directive. The full grammar is
+//
+//	//lqolint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// A directive suppresses matching diagnostics reported on its own line
+// and on the line immediately below it (so it can sit on the offending
+// line or stand alone above it). The analyzer list may be "all". The
+// reason is mandatory; the lintignore analyzer rejects directives
+// without one, so a suppression never lands silently.
+const IgnorePrefix = "lqolint:ignore"
+
+// Directive is one parsed //lqolint:ignore comment.
+type Directive struct {
+	Pos       token.Pos
+	File      string
+	Line      int
+	Analyzers []string // lower-cased; may contain "all"
+	Reason    string   // "" when the author omitted it (invalid)
+}
+
+// Matches reports whether the directive names analyzer (or "all").
+func (d *Directive) Matches(analyzer string) bool {
+	for _, a := range d.Analyzers {
+		if a == "all" || a == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// ParseDirective parses the text of a single //-comment. It returns
+// ok=false when the comment is not an ignore directive at all.
+func ParseDirective(text string) (analyzers []string, reason string, ok bool) {
+	text = strings.TrimPrefix(text, "//")
+	if !strings.HasPrefix(strings.TrimLeft(text, " \t"), IgnorePrefix) {
+		// The canonical machine-readable form has no space after //,
+		// but accept (and let lintignore style-check) padded variants.
+		return nil, "", false
+	}
+	rest := strings.TrimLeft(text, " \t")
+	rest = strings.TrimPrefix(rest, IgnorePrefix)
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil, "", true // directive with neither analyzer nor reason
+	}
+	for _, a := range strings.Split(fields[0], ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			analyzers = append(analyzers, strings.ToLower(a))
+		}
+	}
+	return analyzers, strings.Join(fields[1:], " "), true
+}
+
+// Directives collects every ignore directive in the given files.
+func Directives(fset *token.FileSet, files []*ast.File) []Directive {
+	var out []Directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				as, reason, ok := ParseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				out = append(out, Directive{
+					Pos:       c.Pos(),
+					File:      pos.Filename,
+					Line:      pos.Line,
+					Analyzers: as,
+					Reason:    reason,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Suppress drops diagnostics covered by a directive: same file, directive
+// line or the line below, analyzer named (or "all"). Directives missing
+// an analyzer list suppress nothing — the lintignore analyzer flags them
+// instead. Reason-less directives still suppress their target so a run
+// fails with the single actionable "missing reason" finding rather than
+// both it and the original diagnostic.
+func Suppress(fset *token.FileSet, diags []Diagnostic, dirs []Directive) []Diagnostic {
+	if len(dirs) == 0 {
+		return diags
+	}
+	// file -> line -> directives
+	byLine := map[string]map[int][]*Directive{}
+	for i := range dirs {
+		d := &dirs[i]
+		m := byLine[d.File]
+		if m == nil {
+			m = map[int][]*Directive{}
+			byLine[d.File] = m
+		}
+		m[d.Line] = append(m[d.Line], d)
+	}
+	var kept []Diagnostic
+	for _, dg := range diags {
+		pos := fset.Position(dg.Pos)
+		suppressed := false
+		if m := byLine[pos.Filename]; m != nil {
+			for _, line := range [2]int{pos.Line, pos.Line - 1} {
+				for _, d := range m[line] {
+					if d.Matches(dg.Analyzer) {
+						suppressed = true
+					}
+				}
+			}
+		}
+		if !suppressed {
+			kept = append(kept, dg)
+		}
+	}
+	return kept
+}

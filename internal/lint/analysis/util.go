@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CalleeFunc resolves the statically-known callee of call: a package
+// function, a concrete method, or an interface method. It returns nil
+// for calls through function-typed variables, builtins and conversions.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsBuiltinCall reports whether call invokes the named builtin
+// (e.g. "panic", "len").
+func IsBuiltinCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// PathMatches reports whether pkgPath equals want or ends in "/"+want.
+// Analyzers match packages by path suffix so the golden-file fixtures
+// under testdata/src can stand in for the real tree (for example a stub
+// "lqo/internal/metrics" matching want "internal/metrics").
+func PathMatches(pkgPath, want string) bool {
+	return pkgPath == want || strings.HasSuffix(pkgPath, "/"+want)
+}
+
+// IsPkgFunc reports whether fn is the named package-level function (or
+// method — the receiver is not inspected) of a package whose import path
+// matches pathSuffix per PathMatches.
+func IsPkgFunc(fn *types.Func, pathSuffix, name string) bool {
+	return fn != nil && fn.Name() == name && fn.Pkg() != nil &&
+		PathMatches(fn.Pkg().Path(), pathSuffix)
+}
+
+// IsFloat reports whether t's core type is a floating-point type
+// (including untyped float constants).
+func IsFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// NamedIn reports whether t (after unwrapping pointers) is a named type
+// called name declared in a package matching pathSuffix.
+func NamedIn(t types.Type, pathSuffix, name string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Name() != name {
+		return false
+	}
+	// Generic instantiations keep the origin's object; package may be
+	// nil for error et al.
+	return obj.Pkg() != nil && PathMatches(obj.Pkg().Path(), pathSuffix)
+}
+
+// EnclosingFunc returns the innermost FuncDecl or FuncLit in stack
+// strictly above the final element, or nil.
+func EnclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+// Package analysistest runs a single analyzer over golden-file fixture
+// packages and checks its diagnostics against expectations embedded in
+// the fixtures, mirroring golang.org/x/tools/go/analysis/analysistest
+// (unavailable offline) in miniature.
+//
+// An expectation is a line comment of the form
+//
+//	// want "regex" ["regex" ...]
+//
+// meaning: on this line, the analyzer must report one diagnostic per
+// pattern whose message matches it. Patterns are double- or back-quoted
+// Go strings. A line with code and no want comment must produce no
+// diagnostic — the true-negative half of every golden file.
+//
+// When the diagnostic lands on a line that cannot carry a trailing
+// comment (for example a //lqolint:ignore directive, which consumes the
+// rest of its line), the expectation may sit on a neighboring line with
+// an explicit offset: `// want+1 "regex"` expects the diagnostic one
+// line below the comment, `// want-2` two lines above.
+//
+// The harness applies the same //lqolint:ignore suppression pipeline as
+// a real lint run, so fixtures can also assert that suppression works.
+package analysistest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"lqo/internal/lint/analysis"
+	"lqo/internal/lint/load"
+)
+
+type expectation struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	pattern string
+	matched bool
+}
+
+// wantHead matches the head of an expectation comment: the word "want",
+// an optional signed line offset, then at least one space before the
+// first quoted pattern.
+var wantHead = regexp.MustCompile(`^want([+-]\d+)?\s+`)
+
+// Run loads each fixture package rooted at srcRoot (a GOPATH-style
+// source directory, typically "testdata/src"), applies the analyzer and
+// the suppression pipeline, and fails t on any mismatch between the
+// surviving diagnostics and the // want expectations.
+func Run(t *testing.T, srcRoot string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	root, err := load.FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("analysistest: locating module root: %v", err)
+	}
+	absRoot, err := filepath.Abs(srcRoot)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	for _, path := range pkgPaths {
+		path := path
+		t.Run(path, func(t *testing.T) {
+			l := load.NewLoader(root, absRoot)
+			pkg, err := l.LoadDir(filepath.Join(absRoot, filepath.FromSlash(path)), path)
+			if err != nil {
+				t.Fatalf("analysistest: %v", err)
+			}
+			diags, err := analysis.RunAnalyzer(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+			if err != nil {
+				t.Fatalf("analysistest: running %s: %v", a.Name, err)
+			}
+			diags = analysis.Suppress(pkg.Fset, diags, analysis.Directives(pkg.Fset, pkg.Files))
+			exps := expectations(t, pkg)
+
+			for _, d := range diags {
+				pos := pkg.Fset.Position(d.Pos)
+				found := false
+				for _, e := range exps {
+					if !e.matched && e.file == pos.Filename && e.line == pos.Line && e.rx.MatchString(d.Message) {
+						e.matched = true
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("%s: unexpected diagnostic: %s: %s", pos, d.Analyzer, d.Message)
+				}
+			}
+			for _, e := range exps {
+				if !e.matched {
+					t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.pattern)
+				}
+			}
+		})
+	}
+}
+
+// expectations parses every // want comment in the package.
+func expectations(t *testing.T, pkg *load.Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				m := wantHead.FindStringSubmatch(text)
+				if m == nil {
+					continue
+				}
+				rest := strings.TrimSpace(text[len(m[0]):])
+				if rest == "" || (rest[0] != '"' && rest[0] != '`') {
+					continue // prose that happens to start with "want"
+				}
+				offset := 0
+				if m[1] != "" {
+					offset, _ = strconv.Atoi(m[1])
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for rest != "" {
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Fatalf("%s:%d: malformed want comment %q: %v", pos.Filename, pos.Line, c.Text, err)
+					}
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: unquoting %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					out = append(out, &expectation{
+						file:    pos.Filename,
+						line:    pos.Line + offset,
+						rx:      rx,
+						pattern: pat,
+					})
+					rest = strings.TrimSpace(rest[len(q):])
+				}
+			}
+		}
+	}
+	return out
+}

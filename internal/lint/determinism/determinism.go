@@ -1,0 +1,149 @@
+// Package determinism enforces the byte-identical ReferenceRun contract
+// (PR 1/PR 3): plan rendering, telemetry folds, cost labels and EXPLAIN
+// output must be reproducible bit for bit across runs, worker counts and
+// batch sizes. Three nondeterminism sources are banned in the packages
+// that feed those artifacts:
+//
+//   - time.Now — wall time differs per run. The sanctioned exception is
+//     the operator-telemetry idiom `defer tel.timed(time.Now())`, whose
+//     result is excluded from the reference fold.
+//   - map iteration — Go randomizes range order; sort the keys first.
+//   - package-level math/rand — globally seeded, racy, nondeterministic.
+//     Seeded rand.New(rand.NewSource(seed)) generators are fine. This
+//     rule applies to every internal package: experiment reproducibility
+//     (EXPERIMENTS.md pins tables to seeds) depends on it.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"lqo/internal/lint/analysis"
+)
+
+// Analyzer is the determinism invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: "no time.Now, map-order iteration, or unseeded math/rand in " +
+		"determinism-critical packages (byte-identical ReferenceRun " +
+		"contract)",
+	Run: run,
+}
+
+// detPkgs produce reference output: plans, EXPLAIN text, telemetry
+// folds, cost labels and metric tables.
+var detPkgs = []string{
+	"lqo/internal/plan",
+	"lqo/internal/exec",
+	"lqo/internal/opt",
+	"lqo/internal/cost",
+	"lqo/internal/costmodel",
+	"lqo/internal/metrics",
+}
+
+func appliesDet(pkgPath string) bool {
+	if !strings.HasPrefix(pkgPath, "lqo/") {
+		return true
+	}
+	for _, p := range detPkgs {
+		if pkgPath == p {
+			return true
+		}
+	}
+	return false
+}
+
+func appliesRand(pkgPath string) bool {
+	if !strings.HasPrefix(pkgPath, "lqo/") {
+		return true
+	}
+	return strings.Contains(pkgPath, "/internal/") &&
+		!strings.HasPrefix(pkgPath, "lqo/internal/lint")
+}
+
+// randConstructors build seeded generators and are always allowed.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) error {
+	path := pass.Pkg.Path()
+	det, rnd := appliesDet(path), appliesRand(path)
+	if !det && !rnd {
+		return nil
+	}
+	info := pass.TypesInfo
+
+	pass.InspectWithStack(func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			fn := analysis.CalleeFunc(info, n)
+			if fn == nil {
+				return true
+			}
+			if det && analysis.IsPkgFunc(fn, "time", "Now") && !isTelemetrySink(stack) {
+				pass.Reportf(n.Pos(), "time.Now in a determinism-critical package; reference output must be byte-identical across runs")
+			}
+			if rnd && isGlobalRand(fn) {
+				pass.Reportf(n.Pos(), "package-level math/rand.%s is unseeded and nondeterministic; use rand.New(rand.NewSource(seed))", fn.Name())
+			}
+		case *ast.RangeStmt:
+			if !det {
+				return true
+			}
+			if _, isMap := info.TypeOf(n.X).Underlying().(*types.Map); isMap {
+				pass.Reportf(n.Pos(), "map iteration order is nondeterministic; range over sorted keys instead (byte-identical ReferenceRun contract)")
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+// isGlobalRand reports whether fn is a package-level (receiver-less)
+// function of math/rand or math/rand/v2 other than a seeded-generator
+// constructor. Methods on *rand.Rand are the seeded path and are fine.
+func isGlobalRand(fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	p := fn.Pkg().Path()
+	if p != "math/rand" && p != "math/rand/v2" {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return false
+	}
+	return !randConstructors[fn.Name()]
+}
+
+// isTelemetrySink reports whether the time.Now call is the argument of a
+// call to a method named "timed" — the per-operator wall-clock telemetry
+// idiom (`defer tel.timed(time.Now())`), whose measurements are kept out
+// of the reference fold by construction.
+func isTelemetrySink(stack []ast.Node) bool {
+	self := stack[len(stack)-1]
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr:
+			self = p
+			continue
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(p.Fun).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "timed" {
+				return false
+			}
+			for _, a := range p.Args {
+				if a == self {
+					return true
+				}
+			}
+			return false
+		default:
+			return false
+		}
+	}
+	return false
+}

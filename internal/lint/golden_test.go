@@ -1,0 +1,53 @@
+package lint_test
+
+import (
+	"testing"
+
+	"lqo/internal/lint/analysistest"
+	"lqo/internal/lint/atomicpub"
+	"lqo/internal/lint/cardclamp"
+	"lqo/internal/lint/ctxprop"
+	"lqo/internal/lint/determinism"
+	"lqo/internal/lint/floateq"
+	"lqo/internal/lint/guardsafe"
+	"lqo/internal/lint/lintignore"
+)
+
+// Each analyzer has a golden fixture under testdata/src containing both
+// violations (// want lines) and true negatives (clean code the analyzer
+// must stay silent on).
+
+func TestCardClamp(t *testing.T) {
+	analysistest.Run(t, "testdata/src", cardclamp.Analyzer, "cardclamp_a")
+}
+
+func TestGuardSafe(t *testing.T) {
+	analysistest.Run(t, "testdata/src", guardsafe.Analyzer, "guardsafe_a")
+}
+
+func TestCtxProp(t *testing.T) {
+	analysistest.Run(t, "testdata/src", ctxprop.Analyzer, "ctxprop_a")
+}
+
+func TestAtomicPub(t *testing.T) {
+	analysistest.Run(t, "testdata/src", atomicpub.Analyzer, "atomicpub_a")
+}
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata/src", determinism.Analyzer, "determinism_a")
+}
+
+func TestFloatEq(t *testing.T) {
+	analysistest.Run(t, "testdata/src", floateq.Analyzer, "floateq_a")
+}
+
+func TestLintIgnore(t *testing.T) {
+	analysistest.Run(t, "testdata/src", lintignore.Analyzer, "lintignore_a")
+}
+
+// TestSuppression runs floateq over a fixture whose violations are
+// silenced by //lqolint:ignore directives in every supported placement;
+// only the deliberately mis-scoped directives let diagnostics through.
+func TestSuppression(t *testing.T) {
+	analysistest.Run(t, "testdata/src", floateq.Analyzer, "ignore_a")
+}

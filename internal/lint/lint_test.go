@@ -1,0 +1,83 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"lqo/internal/lint"
+	"lqo/internal/lint/lintignore"
+	"lqo/internal/lint/load"
+)
+
+// TestKnownNamesMatchRegistry pins the lintignore Known set to the
+// registered analyzer suite, so adding an analyzer without teaching the
+// suppression policer about it fails here.
+func TestKnownNamesMatchRegistry(t *testing.T) {
+	want := map[string]bool{"all": true}
+	for _, a := range lint.Analyzers() {
+		want[a.Name] = true
+	}
+	for name := range want {
+		if !lintignore.Known[name] {
+			t.Errorf("analyzer %q is registered but missing from lintignore.Known", name)
+		}
+	}
+	for name := range lintignore.Known {
+		if !want[name] {
+			t.Errorf("lintignore.Known lists %q, which is not a registered analyzer", name)
+		}
+	}
+}
+
+// TestBrokenFixtureFails is the anti-vacuity regression test: the CLI
+// must exit 1 on the violation-ridden fixture with every analyzer in
+// the suite represented in the output. A refactor that silently makes
+// the multichecker match zero packages (or an analyzer stop firing)
+// trips this before it can greenwash CI.
+func TestBrokenFixtureFails(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := lint.Main([]string{"testdata/src/broken"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("lqo-lint on broken fixture: exit %d, want 1\nstdout:\n%s\nstderr:\n%s",
+			code, stdout.String(), stderr.String())
+	}
+	for _, a := range lint.Analyzers() {
+		if !strings.Contains(stdout.String(), a.Name+": ") {
+			t.Errorf("analyzer %s reported nothing on the broken fixture; it has stopped firing\noutput:\n%s",
+				a.Name, stdout.String())
+		}
+	}
+}
+
+// TestMainRejectsZeroPackages: a run that matches nothing must be a hard
+// error (exit 2), never a vacuous pass.
+func TestMainRejectsZeroPackages(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := lint.Main([]string{"no/such/dir"}, &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("lqo-lint no/such/dir: exit %d, want 2 (stderr: %s)", code, stderr.String())
+	}
+}
+
+// TestRealTreeClean lints the whole module: the tree must be clean, and
+// the run must cover a sane number of packages (another anti-vacuity
+// guard — 37 at the time of writing).
+func TestRealTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module lint run skipped in -short mode")
+	}
+	root, err := load.FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("locating module root: %v", err)
+	}
+	res, err := lint.RunTree(root)
+	if err != nil {
+		t.Fatalf("RunTree: %v", err)
+	}
+	if res.Packages < 20 {
+		t.Errorf("lint run matched only %d packages, want >= 20; the loader is dropping packages", res.Packages)
+	}
+	for _, f := range res.Findings {
+		t.Errorf("unexpected finding on the real tree: %s", f)
+	}
+}

@@ -1,0 +1,51 @@
+// Package lintignore polices the suppression facility itself: every
+// //lqolint:ignore directive must name a known analyzer and carry a
+// human-readable reason. A suppression with no reason is indistinguishable
+// from a silenced bug, so the suite rejects it — the directive still
+// suppresses its target, but the lint run fails with the single
+// actionable "missing reason" finding until the author explains it.
+package lintignore
+
+import (
+	"lqo/internal/lint/analysis"
+)
+
+// Analyzer is the suppression-directive checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "lintignore",
+	Doc: "//lqolint:ignore directives must name a known analyzer and " +
+		"give a non-empty reason",
+	Run: run,
+}
+
+// Known lists the analyzer names a directive may suppress, plus "all".
+// internal/lint's registry test asserts this stays in sync with the
+// registered suite.
+var Known = map[string]bool{
+	"all":         true,
+	"cardclamp":   true,
+	"guardsafe":   true,
+	"ctxprop":     true,
+	"atomicpub":   true,
+	"determinism": true,
+	"floateq":     true,
+	"lintignore":  true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, d := range analysis.Directives(pass.Fset, pass.Files) {
+		if len(d.Analyzers) == 0 {
+			pass.Reportf(d.Pos, "lqolint:ignore directive names no analyzer; use //lqolint:ignore <analyzer> <reason>")
+			continue
+		}
+		for _, a := range d.Analyzers {
+			if !Known[a] {
+				pass.Reportf(d.Pos, "lqolint:ignore names unknown analyzer %q", a)
+			}
+		}
+		if d.Reason == "" {
+			pass.Reportf(d.Pos, "lqolint:ignore directive has no reason; every suppression must say why the violation is intentional")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,219 @@
+// Package load type-checks Go packages for the lint suite without
+// depending on golang.org/x/tools/go/packages (unavailable in the
+// offline build environment). Packages under analysis are parsed and
+// checked from source; their dependencies are imported from compiler
+// export data located via `go list -export` — the same data `go vet`
+// uses — so loading stays fast and handles the whole standard library.
+//
+// A Loader can additionally resolve imports from GOPATH-style source
+// roots (testdata/src/...), which is how the analysistest harness makes
+// golden-file fixtures stand in for real workbench packages.
+package load
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one source-checked package.
+type Package struct {
+	Path  string // import path
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader loads and caches packages. It is not safe for concurrent use.
+type Loader struct {
+	Fset *token.FileSet
+
+	// ModuleRoot is the directory `go list` runs in; "" means the
+	// current working directory (which must lie inside some module for
+	// stdlib resolution to work).
+	ModuleRoot string
+
+	// SrcRoots are GOPATH-style source roots consulted — in order,
+	// before export data — when resolving an import path.
+	SrcRoots []string
+
+	exports map[string]string // import path -> export-data file
+	srcPkgs map[string]*Package
+	loading map[string]bool // cycle detection for source loads
+	gc      types.ImporterFrom
+}
+
+// NewLoader returns a loader rooted at moduleRoot (may be "").
+func NewLoader(moduleRoot string, srcRoots ...string) *Loader {
+	l := &Loader{
+		Fset:       token.NewFileSet(),
+		ModuleRoot: moduleRoot,
+		SrcRoots:   srcRoots,
+		exports:    map[string]string{},
+		srcPkgs:    map[string]*Package{},
+		loading:    map[string]bool{},
+	}
+	l.gc = importer.ForCompiler(l.Fset, "gc", l.lookupExport).(types.ImporterFrom)
+	return l
+}
+
+// goList runs the go tool in the loader's module root.
+func (l *Loader) goList(args ...string) ([]byte, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.ModuleRoot
+	out, err := cmd.Output()
+	if err != nil {
+		detail := ""
+		if ee, ok := err.(*exec.ExitError); ok {
+			detail = ": " + strings.TrimSpace(string(ee.Stderr))
+		}
+		return nil, fmt.Errorf("go %s: %w%s", strings.Join(args, " "), err, detail)
+	}
+	return out, nil
+}
+
+// Prefetch resolves export-data locations for the given package patterns
+// and all of their dependencies in a single `go list` invocation,
+// building any stale export data as a side effect. Lint runs call it
+// once with the module's packages; per-import fallback covers the rest.
+func (l *Loader) Prefetch(patterns ...string) error {
+	args := append([]string{"list", "-e", "-export", "-deps", "-f",
+		"{{if .Export}}{{.ImportPath}}\t{{.Export}}{{end}}"}, patterns...)
+	out, err := l.goList(args...)
+	if err != nil {
+		return err
+	}
+	for _, line := range strings.Split(string(out), "\n") {
+		path, file, ok := strings.Cut(strings.TrimSpace(line), "\t")
+		if ok && path != "" && file != "" {
+			l.exports[path] = file
+		}
+	}
+	return nil
+}
+
+// lookupExport feeds the gc importer: it maps an import path to a
+// reader over its export data, consulting the prefetched table first.
+func (l *Loader) lookupExport(path string) (io.ReadCloser, error) {
+	file, ok := l.exports[path]
+	if !ok {
+		out, err := l.goList("list", "-export", "-f", "{{.Export}}", path)
+		if err != nil {
+			return nil, err
+		}
+		file = strings.TrimSpace(string(out))
+		if file == "" {
+			return nil, fmt.Errorf("load: no export data for %q", path)
+		}
+		l.exports[path] = file
+	}
+	return os.Open(file)
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom: GOPATH-style source roots
+// first (testdata fixtures), then compiler export data. Module packages
+// under analysis are deliberately NOT served from their source-checked
+// form here: a dependency's dependencies always come from export data,
+// so every importer of e.g. lqo/internal/data sees the one package
+// instance the gc importer builds — mixing source- and export-checked
+// instances of the same path breaks type identity.
+func (l *Loader) ImportFrom(path, _ string, _ types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	for _, root := range l.SrcRoots {
+		dir := filepath.Join(root, filepath.FromSlash(path))
+		if hasGoFiles(dir) {
+			p, err := l.LoadDir(dir, path)
+			if err != nil {
+				return nil, err
+			}
+			return p.Types, nil
+		}
+	}
+	return l.gc.ImportFrom(path, "", 0)
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+// LoadDir parses and type-checks the non-test Go files of one directory
+// as the package importPath. Results are cached by import path.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	if p, ok := l.srcPkgs[importPath]; ok {
+		return p, nil
+	}
+	if l.loading[importPath] {
+		return nil, fmt.Errorf("load: import cycle through %q", importPath)
+	}
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("load %s: %w", importPath, err)
+	}
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") ||
+			strings.HasSuffix(n, "_test.go") || strings.HasPrefix(n, ".") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("load %s: no non-test Go files in %s", importPath, dir)
+	}
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("load %s: %w", importPath, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(importPath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load %s: %w", importPath, err)
+	}
+	p := &Package{Path: importPath, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	l.srcPkgs[importPath] = p
+	return p, nil
+}

@@ -1,0 +1,89 @@
+package load
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ModulePath reads the module path from root/go.mod.
+func ModulePath(root string) (string, error) {
+	b, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("load: no module directive in %s/go.mod", root)
+}
+
+// FindModuleRoot walks upward from dir to the nearest directory holding
+// a go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("load: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// ModulePackages lists the import paths and directories of every
+// buildable (≥1 non-test Go file) package under root, skipping testdata,
+// hidden and underscore-prefixed directories. The result is sorted by
+// import path.
+func ModulePackages(root string) (paths []string, dirs map[string]string, err error) {
+	modPath, err := ModulePath(root)
+	if err != nil {
+		return nil, nil, err
+	}
+	dirs = map[string]string{}
+	err = filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if p != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") || strings.HasSuffix(d.Name(), "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, filepath.Dir(p))
+		if err != nil {
+			return err
+		}
+		ip := modPath
+		if rel != "." {
+			ip = modPath + "/" + filepath.ToSlash(rel)
+		}
+		dirs[ip] = filepath.Dir(p)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for ip := range dirs {
+		paths = append(paths, ip)
+	}
+	// Deterministic lint output: packages in import-path order.
+	sort.Strings(paths)
+	return paths, dirs, nil
+}

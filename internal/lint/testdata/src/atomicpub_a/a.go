@@ -1,0 +1,42 @@
+// Package atomicpub_a is the golden file for the atomicpub analyzer.
+package atomicpub_a
+
+import "sync/atomic"
+
+// Counter mixes an atomic-typed field with a plain field that is
+// published through sync/atomic functions.
+type Counter struct {
+	hits  atomic.Int64
+	total int64
+	name  string
+}
+
+func Touch(c *Counter) {
+	c.hits.Add(1)                // true negative: method call on the atomic value
+	atomic.AddInt64(&c.total, 1) // true negative (and marks total as atomic-opped)
+}
+
+func BadCopy(c *Counter) {
+	plain := c.hits // want `atomic field hits used as a plain value`
+	_ = plain
+}
+
+func BadPlainRead(c *Counter) int64 {
+	return c.total // want `plain access to total`
+}
+
+func BadPlainWrite(c *Counter) {
+	c.total = 0 // want `plain access to total`
+}
+
+func GoodAddr(c *Counter) *atomic.Int64 {
+	return &c.hits // true negative: address-taken, atomicity preserved
+}
+
+func GoodAtomicRead(c *Counter) int64 {
+	return atomic.LoadInt64(&c.total) // true negative: atomic op operand
+}
+
+func GoodUnrelated(c *Counter) string {
+	return c.name // true negative: never touched atomically
+}

@@ -1,0 +1,45 @@
+// Package broken is a deliberately violation-ridden fixture. The
+// cmd/lqo-lint regression test asserts that a lint run here exits
+// non-zero with every analyzer in the suite reporting, which guards
+// against the failure mode where the multichecker matches zero packages
+// (or an analyzer silently stops firing) and passes vacuously.
+package broken
+
+import (
+	"context"
+	"math/rand"
+	"sync/atomic"
+	"time"
+)
+
+// Est mimics a cardinality estimator.
+type Est struct{}
+
+// Estimate returns a raw, unclamped estimate.
+func (Est) Estimate(n int) float64 { return float64(n) }
+
+// Stats carries an atomic counter.
+type Stats struct {
+	hits atomic.Int64
+}
+
+// Everything violates all seven analyzers in one function.
+func Everything(e Est, s *Stats, m map[string]float64) float64 {
+	ctx := context.Background() // ctxprop: fresh root context in library code
+	_ = ctx
+	c := e.Estimate(3)
+	if c > 10 { // cardclamp: comparison on an unclamped estimate
+		panic("estimate exploded") // guardsafe: naked panic
+	}
+	plain := s.hits // atomicpub: plain read of an atomic field
+	_ = plain
+	total := 0.0
+	for _, v := range m { // determinism: map iteration order
+		total += v
+	}
+	if total == c { // floateq: exact float comparison
+		//lqolint:ignore determinism
+		total += rand.Float64() // suppressed, but the reason-less directive trips lintignore
+	}
+	return total * float64(time.Now().UnixNano()%7) // determinism: wall clock
+}

@@ -1,0 +1,43 @@
+// Package ctxprop_a is the golden file for the ctxprop analyzer.
+package ctxprop_a
+
+import "context"
+
+func BadRoot() error {
+	ctx := context.Background() // want `context.Background\(\) in a library package`
+	return ctx.Err()
+}
+
+func BadTODO() error {
+	return context.TODO().Err() // want `context.TODO\(\) in a library package`
+}
+
+func BadOrder(name string, ctx context.Context) error { // want `context.Context must be the first parameter`
+	_ = name
+	return ctx.Err()
+}
+
+func BadUnused(ctx context.Context, n int) int { // want `accepts a context but never forwards or checks it`
+	total := 0
+	for i := 0; i < n; i++ {
+		total += work(i)
+	}
+	return total
+}
+
+func work(i int) int { return i }
+
+func GoodForwarded(ctx context.Context, n int) error { // true negative: ctx checked in the loop
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		work(i)
+	}
+	return nil
+}
+
+func GoodTrivial(ctx context.Context) string { // true negative: no work, nothing to cancel
+	_ = ctx
+	return "constant"
+}

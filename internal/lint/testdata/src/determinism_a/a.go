@@ -1,0 +1,44 @@
+// Package determinism_a is the golden file for the determinism analyzer.
+package determinism_a
+
+import (
+	"math/rand"
+	"time"
+)
+
+type tel struct{ wall time.Duration }
+
+func (t *tel) timed(start time.Time) { t.wall += time.Since(start) }
+
+func BadNow() int64 {
+	return time.Now().UnixNano() // want `time.Now in a determinism-critical package`
+}
+
+func GoodTelemetry(t *tel) {
+	defer t.timed(time.Now()) // true negative: the sanctioned telemetry idiom
+}
+
+func BadMapRange(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		total += v
+	}
+	return total
+}
+
+func GoodSliceRange(xs []int) int {
+	total := 0
+	for _, v := range xs { // true negative: slice iteration is ordered
+		total += v
+	}
+	return total
+}
+
+func BadGlobalRand() float64 {
+	return rand.Float64() // want `package-level math/rand.Float64 is unseeded`
+}
+
+func GoodSeededRand(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed)) // true negative: seeded constructor
+	return r.Float64()                  // true negative: method on the seeded generator
+}

@@ -1,0 +1,30 @@
+// Package floateq_a is the golden file for the floateq analyzer.
+package floateq_a
+
+func BadEq(a, b float64) bool {
+	return a == b // want `floating-point == comparison`
+}
+
+func BadNeq(a, b float64) bool {
+	return a+1 != b // want `floating-point != comparison`
+}
+
+func GoodNaNIdiom(a float64) bool {
+	return a != a // true negative: the portable NaN self-test
+}
+
+func GoodEpsilon(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9 // true negative: epsilon comparison
+}
+
+func GoodConstFold() bool {
+	return 0.5 == 0.25+0.25 // true negative: compile-time constant comparison
+}
+
+func GoodInts(a, b int) bool {
+	return a == b // true negative: integer equality is exact
+}

@@ -1,0 +1,42 @@
+// Package guardsafe_a is the golden file for the guardsafe analyzer.
+package guardsafe_a
+
+import "lqo/internal/guard"
+
+// Driver mirrors the pilotscope driver life-cycle interface.
+type Driver interface {
+	Init(cfg string) error
+	Algo(q string) (float64, error)
+}
+
+func BadPanic(x int) int {
+	if x < 0 {
+		panic("negative input") // want `naked panic in library code`
+	}
+	return x
+}
+
+func BadCallback(d Driver) error {
+	return d.Init("cfg") // want `driver callback Init invoked outside guard.Safe`
+}
+
+func BadAlgo(d Driver) (v float64, err error) {
+	v, err = d.Algo("q1") // want `driver callback Algo invoked outside guard.Safe`
+	return v, err
+}
+
+func GoodGuarded(d Driver) error {
+	return guard.Safe("driver-init", func() error { // true negative: wrapped
+		return d.Init("cfg")
+	})
+}
+
+// concrete is not the Driver interface, so calling its Init directly is
+// not the guarded boundary.
+type concrete struct{}
+
+func (concrete) Init(cfg string) error { return nil }
+
+func GoodConcrete(c concrete) error {
+	return c.Init("cfg") // true negative: concrete receiver, not the interface
+}

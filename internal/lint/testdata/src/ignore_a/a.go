@@ -1,0 +1,29 @@
+// Package ignore_a exercises the suppression pipeline end to end: it is
+// linted with the floateq analyzer, and the directives below must
+// silence exactly the diagnostics they name — nothing more.
+package ignore_a
+
+func suppressedAbove(a, b float64) bool {
+	//lqolint:ignore floateq fixture: exact equality intended, directive on the line above
+	return a == b
+}
+
+func suppressedSameLine(a, b float64) bool {
+	return a == b //lqolint:ignore floateq fixture: same-line suppression
+}
+
+func suppressedByAll(a, b float64) bool {
+	//lqolint:ignore all fixture: the "all" wildcard covers every analyzer
+	return a == b
+}
+
+func wrongAnalyzerNamed(a, b float64) bool {
+	//lqolint:ignore cardclamp fixture: names a different analyzer, so floateq still fires
+	return a == b // want `floating-point == comparison`
+}
+
+func outOfRange(a, b float64) bool {
+	//lqolint:ignore floateq fixture: two lines above the violation, out of the directive's reach
+
+	return a == b // want `floating-point == comparison`
+}

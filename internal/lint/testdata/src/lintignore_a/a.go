@@ -1,0 +1,28 @@
+// Package lintignore_a is the golden file for the lintignore analyzer,
+// which polices the suppression directives themselves. Directives
+// consume the rest of their line, so expectations use the harness's
+// offset form (want+1 = the diagnostic lands one line below).
+package lintignore_a
+
+func noAnalyzer(a, b float64) bool {
+	// want+1 `names no analyzer`
+	//lqolint:ignore
+	return a == b
+}
+
+func unknownAnalyzer(a, b float64) bool {
+	// want+1 `unknown analyzer "nosuch"`
+	//lqolint:ignore nosuch the analyzer name is misspelled
+	return a == b
+}
+
+func missingReason(a, b float64) bool {
+	// want+1 `has no reason`
+	//lqolint:ignore floateq
+	return a == b
+}
+
+func wellFormed(a, b float64) bool {
+	//lqolint:ignore floateq true negative: names a known analyzer and explains why
+	return a == b
+}

@@ -154,6 +154,7 @@ func ranks(v []float64) []float64 {
 	for r := 0; r < len(s); {
 		// Average ranks over ties.
 		e := r
+		//lqolint:ignore floateq exact equality is the definition of a rank tie; both operands are unmodified input values, so no arithmetic error accumulates
 		for e+1 < len(s) && s[e+1].v == s[r].v {
 			e++
 		}

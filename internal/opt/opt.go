@@ -87,6 +87,7 @@ func (o *Optimizer) maxDP() int {
 // bushy DP when the query is small enough, greedy otherwise. Plan nodes
 // are annotated with EstCard and EstCost.
 func (o *Optimizer) Optimize(q *query.Query) (*plan.Node, error) {
+	//lqolint:ignore ctxprop compatibility shim; OptimizeCtx is the context-aware entry point and this wrapper exists for callers with no deadline
 	return o.OptimizeCtx(context.Background(), q)
 }
 
@@ -246,9 +247,11 @@ func (o *Optimizer) maskCard(st *dpState, mask int) float64 {
 // poison cost arithmetic with non-finite values.
 func (o *Optimizer) estimate(q *query.Query) float64 {
 	c := o.Est.Estimate(q)
+	//lqolint:ignore cardclamp this IS the sanitizer the rule mandates; it must inspect the raw estimate to clamp it
 	if c < 0 || math.IsNaN(c) {
 		return 0
 	}
+	//lqolint:ignore cardclamp second half of the sanitizer itself; see above
 	if c > metrics.MaxCard {
 		return metrics.MaxCard
 	}
@@ -307,6 +310,7 @@ func (o *Optimizer) indexEqColumn(table string, preds []query.Pred) string {
 // sub-plans with the lowest resulting cost (connected pairs only, unless
 // forced). It scales to arbitrary query sizes.
 func (o *Optimizer) OptimizeGreedy(q *query.Query) (*plan.Node, error) {
+	//lqolint:ignore ctxprop compatibility shim; OptimizeGreedyCtx is the context-aware entry point and this wrapper exists for callers with no deadline
 	return o.OptimizeGreedyCtx(context.Background(), q)
 }
 
@@ -345,6 +349,7 @@ func (o *Optimizer) OptimizeGreedyCtx(ctx context.Context, q *query.Query) (*pla
 					continue // avoid cross joins while connected pairs remain
 				}
 				set := parts[i].node.AliasSet()
+				//lqolint:ignore determinism order-insensitive set union; every iteration order yields the same alias set
 				for a := range parts[j].node.AliasSet() {
 					set[a] = true
 				}

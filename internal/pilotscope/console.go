@@ -48,6 +48,7 @@ type InitContext struct {
 // Context returns the init deadline context, defaulting to Background.
 func (c *InitContext) Context() context.Context {
 	if c.Ctx == nil {
+		//lqolint:ignore ctxprop documented InitContext default: a driver that sets no deadline gets an unbounded init, by contract
 		return context.Background()
 	}
 	return c.Ctx
@@ -292,6 +293,7 @@ func (c *Console) StartBackgroundUpdater(trigger <-chan struct{}) <-chan struct{
 		for range trigger {
 			// Errors are swallowed by design: background staleness must
 			// never take the database down.
+			//lqolint:ignore ctxprop the staleness updater is deliberately detached from any request lifetime; it stops via channel close, not cancellation
 			_ = c.UpdateModels(context.Background())
 		}
 	}()
