@@ -4,11 +4,12 @@
 #   make test    — tier-1: the fast correctness suite
 #   make lint    — lqolint: the repo's invariant analyzers (cmd/lqo-lint)
 #   make race    — full suite under the race detector
-#   make fuzz    — short fuzz smoke over the SQL parser
+#   make fuzz    — short fuzz smoke over the SQL parser and key encoding
 #   make verify  — what CI runs: build + vet + lint + tests + race + fuzz
 #                  smoke, then staticcheck & govulncheck (skipped offline)
-#   make bench   — regenerate every experiment table (E1..E10, E13)
+#   make bench   — regenerate every experiment table (E1..E10, E13, E14)
 #   make bench-smoke — compile-and-run every Go benchmark once (no timing)
+#   make load-smoke  — E14 sustained-load smoke through the serving layer
 #   make chaos   — E10 only: guardrail runtime under fault injection
 
 GO ?= go
@@ -23,7 +24,7 @@ GOVULNCHECK_VERSION ?= v1.1.3
 
 FUZZTIME ?= 10s
 
-.PHONY: build test vet lint staticcheck govulncheck race fuzz verify bench bench-smoke chaos
+.PHONY: build test vet lint staticcheck govulncheck race fuzz verify bench bench-smoke load-smoke chaos
 
 build:
 	$(GO) build ./...
@@ -35,8 +36,8 @@ vet:
 	$(GO) vet ./...
 
 # The custom invariant suite: cardclamp, guardsafe, ctxprop, atomicpub,
-# determinism, floateq, lintignore. Exit 2 (including "matched no
-# packages") fails the build just like findings do.
+# determinism, floateq, keycanon, lintignore. Exit 2 (including "matched
+# no packages") fails the build just like findings do.
 lint:
 	$(GO) run ./cmd/lqo-lint ./...
 
@@ -62,6 +63,7 @@ race:
 
 fuzz:
 	$(GO) test ./internal/sqlx/ -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/sqlx/ -run '^$$' -fuzz FuzzKeyUniqueness -fuzztime $(FUZZTIME)
 
 verify: build vet lint test race fuzz staticcheck govulncheck
 
@@ -72,6 +74,11 @@ bench:
 # without paying for real measurements.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/exec/ ./internal/bench/
+
+# A short E14 run: the serving layer under open-loop load. Fails loudly
+# if cached results diverge from uncached baselines or serving errors.
+load-smoke:
+	$(GO) run ./cmd/lqo-bench -exp E14 -load-qps 100 -load-dur 3s
 
 chaos:
 	$(GO) run ./cmd/lqo-bench -chaos

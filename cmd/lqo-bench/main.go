@@ -1,6 +1,6 @@
-// Command lqo-bench regenerates the workbench's experiment tables E1–E10
-// and E13 (see DESIGN.md for the experiment index and EXPERIMENTS.md for
-// recorded results).
+// Command lqo-bench regenerates the workbench's experiment tables E1–E10,
+// E13 and E14 (see DESIGN.md for the experiment index and EXPERIMENTS.md
+// for recorded results).
 //
 // Usage:
 //
@@ -9,6 +9,7 @@
 //	lqo-bench -exp E5 -scale full      # DESIGN.md-scale run (slow)
 //	lqo-bench -exp E9 -parallel 8      # concurrent throughput, 1 vs 8 goroutines
 //	lqo-bench -exp E13                 # vectorized kernels vs scalar filter path
+//	lqo-bench -exp E14 -load-qps 500   # open-loop sustained load through the serving layer
 //	lqo-bench -exp E5 -novec           # any experiment with vectorization disabled
 //	lqo-bench -chaos                   # E10 guardrails under fault injection
 //	lqo-bench -chaos -chaos-rates 0,0.25 -chaos-timeout 2ms
@@ -37,6 +38,12 @@ func main() {
 		batchFlag   = flag.Int("batch", 0, "E9 executor batch size in tuples (0 = exec default); results are identical at every setting")
 		novecFlag   = flag.Bool("novec", false, "disable vectorized kernels and zone-map pruning on the shared executor; results are identical, only wall clock changes (E13 always runs its own scalar-vs-vectorized A/B)")
 
+		loadQPS      = flag.String("load-qps", "200,1000", "E14 comma-separated target arrival rates")
+		loadDur      = flag.Duration("load-dur", time.Second, "E14 measured duration per rate level")
+		loadDistinct = flag.Int("load-distinct", 8, "E14 distinct queries in the repeated mix")
+		loadWorkers  = flag.Int("load-workers", 0, "E14 serving goroutines (0 = GOMAXPROCS)")
+		loadSLO      = flag.Float64("load-slo", 50, "E14 end-to-end latency SLO in milliseconds")
+
 		chaosFlag    = flag.Bool("chaos", false, "shorthand for -exp E10: guardrail runtime under fault injection")
 		chaosRates   = flag.String("chaos-rates", "0,0.01,0.10", "E10 comma-separated fault rates in [0,1]")
 		chaosTimeout = flag.Duration("chaos-timeout", 5*time.Millisecond, "E10 per-decision budget for the learned planner")
@@ -53,7 +60,7 @@ func main() {
 	case *chaosFlag:
 		want["E10"] = true
 	case *expFlag == "all":
-		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E13"} {
+		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E13", "E14"} {
 			want[id] = true
 		}
 	default:
@@ -116,6 +123,27 @@ func main() {
 		}},
 		{"E13", func(ctx context.Context, env *bench.Env) (*bench.Report, error) {
 			return bench.E13Vectorized(ctx, env, *repeatFlag)
+		}},
+		{"E14", func(ctx context.Context, env *bench.Env) (*bench.Report, error) {
+			var levels []float64
+			for _, s := range strings.Split(*loadQPS, ",") {
+				s = strings.TrimSpace(s)
+				if s == "" {
+					continue
+				}
+				var v float64
+				if _, err := fmt.Sscanf(s, "%g", &v); err != nil || v <= 0 {
+					return nil, fmt.Errorf("bad -load-qps entry %q", s)
+				}
+				levels = append(levels, v)
+			}
+			return bench.E14SustainedLoad(ctx, env, bench.LoadOptions{
+				QPSLevels:  levels,
+				Duration:   *loadDur,
+				Distinct:   *loadDistinct,
+				Goroutines: *loadWorkers,
+				SLOms:      *loadSLO,
+			})
 		}},
 	}
 

@@ -36,6 +36,7 @@ var libraryPkgs = []string{
 	"lqo/internal/opt",
 	"lqo/internal/pilotscope",
 	"lqo/internal/bench",
+	"lqo/internal/serve",
 }
 
 func applies(pkgPath string) bool {

@@ -10,6 +10,7 @@ import (
 	"lqo/internal/lint/determinism"
 	"lqo/internal/lint/floateq"
 	"lqo/internal/lint/guardsafe"
+	"lqo/internal/lint/keycanon"
 	"lqo/internal/lint/lintignore"
 )
 
@@ -39,6 +40,10 @@ func TestDeterminism(t *testing.T) {
 
 func TestFloatEq(t *testing.T) {
 	analysistest.Run(t, "testdata/src", floateq.Analyzer, "floateq_a")
+}
+
+func TestKeyCanon(t *testing.T) {
+	analysistest.Run(t, "testdata/src", keycanon.Analyzer, "keycanon_a")
 }
 
 func TestLintIgnore(t *testing.T) {

@@ -22,6 +22,7 @@ import (
 	"lqo/internal/lint/determinism"
 	"lqo/internal/lint/floateq"
 	"lqo/internal/lint/guardsafe"
+	"lqo/internal/lint/keycanon"
 	"lqo/internal/lint/lintignore"
 	"lqo/internal/lint/load"
 )
@@ -35,6 +36,7 @@ func Analyzers() []*analysis.Analyzer {
 		determinism.Analyzer,
 		floateq.Analyzer,
 		guardsafe.Analyzer,
+		keycanon.Analyzer,
 		lintignore.Analyzer,
 	}
 }

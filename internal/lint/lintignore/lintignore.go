@@ -29,6 +29,7 @@ var Known = map[string]bool{
 	"atomicpub":   true,
 	"determinism": true,
 	"floateq":     true,
+	"keycanon":    true,
 	"lintignore":  true,
 }
 

@@ -23,7 +23,12 @@ type Stats struct {
 	hits atomic.Int64
 }
 
-// Everything violates all seven analyzers in one function.
+// Key builds a cache key by raw concatenation.
+func Key(alias, table string) string {
+	return alias + "." + table // keycanon: collision-prone key construction
+}
+
+// Everything violates the remaining analyzers in one function.
 func Everything(e Est, s *Stats, m map[string]float64) float64 {
 	ctx := context.Background() // ctxprop: fresh root context in library code
 	_ = ctx

@@ -1,0 +1,72 @@
+// Package keycanon_a is the golden file for the keycanon analyzer.
+package keycanon_a
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+type q struct {
+	alias, table string
+	parts        []string
+}
+
+// Key-producing functions must not assemble keys from raw strings.
+
+func (x q) Key() string {
+	return x.alias + "." + x.table // want `string concatenation in key function Key`
+}
+
+func (x q) ShapeKey() string {
+	return fmt.Sprintf("%s:%s", x.alias, x.table) // want `fmt.Sprintf in key function ShapeKey`
+}
+
+func (x q) Fingerprint() string {
+	return strings.Join(x.parts, "|") // want `strings.Join in key function Fingerprint`
+}
+
+func (x q) StructureKey() string {
+	out := ""
+	for _, p := range x.parts {
+		out += p // want `string \+= in key function StructureKey`
+	}
+	return out
+}
+
+func cacheKey(alias string, ord int) string {
+	return alias + strconv.Itoa(ord) // want `string concatenation in key function cacheKey`
+}
+
+// True negatives.
+
+// label is display rendering, not a key: formatting is fine here.
+func (x q) label() string {
+	return x.alias + "." + x.table
+}
+
+// SQL renders the query back to text; also not a key.
+func (x q) SQL() string {
+	return fmt.Sprintf("SELECT * FROM %s %s", x.table, x.alias)
+}
+
+// KeyString built on a length-prefixing builder is the sanctioned shape.
+func (x q) KeyString() string {
+	var b strings.Builder
+	b.WriteString(strconv.Itoa(len(x.alias)))
+	b.WriteByte(':')
+	b.WriteString(x.alias)
+	return b.String()
+}
+
+// Constant-only concatenation is static vocabulary, not injected content.
+func (x q) PlanKey() string {
+	const prefix = "p" + "("
+	var b strings.Builder
+	b.WriteString(prefix)
+	b.WriteString(strconv.Itoa(len(x.table)))
+	b.WriteByte(':')
+	b.WriteString(x.table)
+	b.WriteString(")")
+	return b.String()
+}

@@ -141,68 +141,62 @@ func (n *Node) Clone() *Node {
 // Fingerprint returns a canonical string for the physical plan: operator
 // tree shape with scan targets and join conditions. Predicate values are
 // included so that plans for different queries never collide. Join-operand
-// order is preserved (NL join cost is asymmetric).
+// order is preserved (NL join cost is asymmetric). The encoding shares
+// query.KeyBuilder with Query.Key: aliases, tables, columns and literals
+// are length-prefixed, so delimiter bytes inside them cannot make two
+// distinct plans render the same fingerprint (the old ";"/","-joined
+// format could collide, which becomes cache poisoning the moment a plan
+// cache keys on it).
 func (n *Node) Fingerprint() string {
-	var b strings.Builder
-	n.fingerprint(&b)
-	return b.String()
+	var k query.KeyBuilder
+	n.fingerprint(&k)
+	return k.String()
 }
 
-func (n *Node) fingerprint(b *strings.Builder) {
+func (n *Node) fingerprint(k *query.KeyBuilder) {
 	if n == nil {
 		return
 	}
 	if n.IsLeaf() {
-		b.WriteString(n.Op.String())
-		b.WriteString("(")
-		b.WriteString(n.Alias)
+		k.Raw(n.Op.String()).Raw("(").Atom(n.Alias).Raw(":").Atom(n.Table)
 		for _, p := range n.Preds {
-			b.WriteString(";")
-			b.WriteString(p.String())
+			k.Append(p.KeyString())
 		}
-		b.WriteString(")")
+		k.Raw(")")
 		return
 	}
-	b.WriteString(n.Op.String())
-	b.WriteString("[")
-	for i, j := range n.Cond {
-		if i > 0 {
-			b.WriteString(",")
-		}
-		b.WriteString(j.String())
+	k.Raw(n.Op.String()).Raw("[")
+	for _, j := range n.Cond {
+		k.Append(j.KeyString())
 	}
-	b.WriteString("](")
-	n.Left.fingerprint(b)
-	b.WriteString(",")
-	n.Right.fingerprint(b)
-	b.WriteString(")")
+	k.Raw("](")
+	n.Left.fingerprint(k)
+	k.Raw(",")
+	n.Right.fingerprint(k)
+	k.Raw(")")
 }
 
 // StructureKey is Fingerprint without predicate literals: it identifies the
 // join-order + operator shape. Eraser's coarse filter groups plans by it.
 func (n *Node) StructureKey() string {
-	var b strings.Builder
-	n.structureKey(&b)
-	return b.String()
+	var k query.KeyBuilder
+	n.structureKey(&k)
+	return k.String()
 }
 
-func (n *Node) structureKey(b *strings.Builder) {
+func (n *Node) structureKey(k *query.KeyBuilder) {
 	if n == nil {
 		return
 	}
 	if n.IsLeaf() {
-		b.WriteString(n.Op.String())
-		b.WriteString("(")
-		b.WriteString(n.Alias)
-		b.WriteString(")")
+		k.Raw(n.Op.String()).Raw("(").Atom(n.Alias).Raw(")")
 		return
 	}
-	b.WriteString(n.Op.String())
-	b.WriteString("(")
-	n.Left.structureKey(b)
-	b.WriteString(",")
-	n.Right.structureKey(b)
-	b.WriteString(")")
+	k.Raw(n.Op.String()).Raw("(")
+	n.Left.structureKey(k)
+	k.Raw(",")
+	n.Right.structureKey(k)
+	k.Raw(")")
 }
 
 // String renders an indented plan tree with annotations.

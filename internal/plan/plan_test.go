@@ -167,3 +167,71 @@ func TestToDOT(t *testing.T) {
 		t.Fatalf("edge count = %d", strings.Count(dot, "->"))
 	}
 }
+
+// The pairs below collide under the pre-canonical fingerprint format
+// (";"-joined predicate strings, ","-joined join conditions, raw alias
+// bytes) and must stay distinct under the KeyBuilder encoding — the
+// plan-side half of the delimiter-injection regression suite.
+
+func TestFingerprintPredDelimiterInjection(t *testing.T) {
+	// Old leaf format: Op "(" alias {";" pred.String()} ")". A column
+	// name containing " > 1;a.w" spliced one predicate into two.
+	p1 := NewScan(SeqScan, "a", "t", []query.Pred{
+		{Alias: "a", Column: "v > 1;a.w", Op: query.Gt, Val: data.IntVal(2)},
+	})
+	p2 := NewScan(SeqScan, "a", "t", []query.Pred{
+		{Alias: "a", Column: "v", Op: query.Gt, Val: data.IntVal(1)},
+		{Alias: "a", Column: "w", Op: query.Gt, Val: data.IntVal(2)},
+	})
+	if p1.Fingerprint() == p2.Fingerprint() {
+		t.Fatalf("pred delimiter injection collides: %q", p1.Fingerprint())
+	}
+}
+
+func TestFingerprintCondDelimiterInjection(t *testing.T) {
+	l, r := NewScan(SeqScan, "a", "t", nil), NewScan(SeqScan, "b", "u", nil)
+	p1 := NewJoin(HashJoin, l.Clone(), r.Clone(), []query.Join{
+		{LeftAlias: "a", LeftCol: "x = b.y,a.z", RightAlias: "b", RightCol: "w"},
+	})
+	p2 := NewJoin(HashJoin, l.Clone(), r.Clone(), []query.Join{
+		{LeftAlias: "a", LeftCol: "x", RightAlias: "b", RightCol: "y"},
+		{LeftAlias: "a", LeftCol: "z", RightAlias: "b", RightCol: "w"},
+	})
+	if p1.Fingerprint() == p2.Fingerprint() {
+		t.Fatalf("join condition delimiter injection collides: %q", p1.Fingerprint())
+	}
+}
+
+func TestFingerprintNumericCanonicalization(t *testing.T) {
+	mk := func(v data.Value) *Node {
+		return NewScan(SeqScan, "a", "t", []query.Pred{{Alias: "a", Column: "v", Op: query.Gt, Val: v}})
+	}
+	if mk(data.IntVal(1000000)).Fingerprint() != mk(data.FloatVal(1e6)).Fingerprint() {
+		t.Fatal("semantically identical literals fingerprint differently")
+	}
+	if mk(data.IntVal(1)).Fingerprint() == mk(data.IntVal(2)).Fingerprint() {
+		t.Fatal("distinct literals collide")
+	}
+}
+
+func TestFingerprintIncludesTable(t *testing.T) {
+	// Same alias bound to different base tables must not collide: a
+	// serving-layer plan cache would otherwise hand table t's plan to a
+	// query over table u.
+	p1 := NewScan(SeqScan, "a", "t", nil)
+	p2 := NewScan(SeqScan, "a", "u", nil)
+	if p1.Fingerprint() == p2.Fingerprint() {
+		t.Fatal("fingerprint ignores the base table")
+	}
+}
+
+func TestStructureKeyDelimiterInjection(t *testing.T) {
+	// Old structure key wrote raw alias bytes: alias "a),SeqScan(b"
+	// spliced a fake sibling into the tree rendering.
+	deep := NewJoin(HashJoin, NewScan(SeqScan, "a),SeqScan(b", "t", nil), NewScan(SeqScan, "c", "u", nil), nil)
+	if deep.StructureKey() == NewJoin(HashJoin,
+		NewJoin(HashJoin, NewScan(SeqScan, "a", "t", nil), NewScan(SeqScan, "b", "t", nil), nil),
+		NewScan(SeqScan, "c", "u", nil), nil).StructureKey() {
+		t.Fatal("structure key delimiter injection collides")
+	}
+}

@@ -49,20 +49,36 @@ func (op CmpOp) String() string {
 }
 
 // Pred is a single-column filter predicate "alias.column op value".
+//
+// Param/Param2, when non-zero, mark the value (respectively the Between
+// upper bound) as an unbound 1-based prepared-statement placeholder: the
+// predicate belongs to a statement template, Val/Val2 are meaningless,
+// and the query must be bound (sqlx.Prepared.Bind) before it can be
+// validated, estimated or executed.
 type Pred struct {
 	Alias  string
 	Column string
 	Op     CmpOp
 	Val    data.Value
 	Val2   data.Value // upper bound for Between
+	Param  int        // 1-based placeholder ordinal for Val; 0 = literal
+	Param2 int        // 1-based placeholder ordinal for Val2; 0 = literal
 }
 
-// String renders the predicate in SQL.
+// String renders the predicate in SQL. Unbound placeholders render as
+// "?", matching the prepared-statement source text.
 func (p Pred) String() string {
-	if p.Op == Between {
-		return fmt.Sprintf("%s.%s BETWEEN %s AND %s", p.Alias, p.Column, p.Val, p.Val2)
+	lo, hi := p.Val.String(), p.Val2.String()
+	if p.Param != 0 {
+		lo = "?"
 	}
-	return fmt.Sprintf("%s.%s %s %s", p.Alias, p.Column, p.Op, p.Val)
+	if p.Param2 != 0 {
+		hi = "?"
+	}
+	if p.Op == Between {
+		return fmt.Sprintf("%s.%s BETWEEN %s AND %s", p.Alias, p.Column, lo, hi)
+	}
+	return fmt.Sprintf("%s.%s %s %s", p.Alias, p.Column, p.Op, lo)
 }
 
 // Matches reports whether the numeric value v satisfies the predicate.
@@ -264,28 +280,63 @@ func (q *Query) SQL() string {
 // content — the part that determines cardinality: sorted refs, joins and
 // predicates. Two structurally identical queries share a Key regardless
 // of clause order or aggregate target (SUM and COUNT over the same join
-// have the same cardinality).
+// have the same cardinality). The encoding is collision-safe: every
+// component is length-prefixed through KeyBuilder, so delimiter bytes
+// inside aliases, tables, columns or literals cannot make two distinct
+// queries collide (they used to, with bare ","/"|" joins). Unbound
+// placeholder predicates render as "?N" ordinals, so a prepared
+// statement template's Key is its binding-structure shape key.
 func (q *Query) Key() string {
 	refs := make([]string, len(q.Refs))
 	for i, r := range q.Refs {
-		refs[i] = r.Alias + ":" + r.Table
+		var kb KeyBuilder
+		kb.Raw("r(").Atom(r.Alias).Raw(":").Atom(r.Table).Raw(")")
+		refs[i] = kb.String()
 	}
 	sort.Strings(refs)
 	joins := make([]string, len(q.Joins))
 	for i, j := range q.Joins {
-		a, b := j.LeftAlias+"."+j.LeftCol, j.RightAlias+"."+j.RightCol
-		if a > b {
-			a, b = b, a
+		n := j
+		if n.LeftAlias > n.RightAlias || (n.LeftAlias == n.RightAlias && n.LeftCol > n.RightCol) {
+			n.LeftAlias, n.LeftCol, n.RightAlias, n.RightCol = n.RightAlias, n.RightCol, n.LeftAlias, n.LeftCol
 		}
-		joins[i] = a + "=" + b
+		joins[i] = n.KeyString()
 	}
 	sort.Strings(joins)
 	preds := make([]string, len(q.Preds))
 	for i, p := range q.Preds {
-		preds[i] = p.String()
+		preds[i] = p.KeyString()
 	}
 	sort.Strings(preds)
-	return strings.Join(refs, ",") + "|" + strings.Join(joins, ",") + "|" + strings.Join(preds, ",")
+	var k KeyBuilder
+	for _, s := range refs {
+		k.Append(s)
+	}
+	k.Raw("|")
+	for _, s := range joins {
+		k.Append(s)
+	}
+	k.Raw("|")
+	for _, s := range preds {
+		k.Append(s)
+	}
+	return k.String()
+}
+
+// NumParams returns the number of unbound placeholder slots in the
+// query's predicates (the highest Param ordinal; 0 for a fully bound
+// query).
+func (q *Query) NumParams() int {
+	n := 0
+	for _, p := range q.Preds {
+		if p.Param > n {
+			n = p.Param
+		}
+		if p.Param2 > n {
+			n = p.Param2
+		}
+	}
+	return n
 }
 
 // Subquery projects the query onto a subset of aliases: only refs in the
@@ -311,8 +362,22 @@ func (q *Query) Subquery(aliases map[string]bool) *Query {
 }
 
 // Validate checks that every join and predicate references a declared
-// alias, and that referenced columns exist in cat.
+// alias, and that referenced columns exist in cat. Queries with unbound
+// placeholder predicates fail: they are statement templates and must be
+// bound first (ValidateShape is the template-side check).
 func (q *Query) Validate(cat *data.Catalog) error {
+	for _, p := range q.Preds {
+		if p.Param != 0 || p.Param2 != 0 {
+			return fmt.Errorf("query: unbound parameter in predicate %s (bind the prepared statement first)", p)
+		}
+	}
+	return q.ValidateShape(cat)
+}
+
+// ValidateShape is Validate for prepared-statement templates: identical
+// reference and column checking, but placeholder predicates are allowed
+// to remain unbound.
+func (q *Query) ValidateShape(cat *data.Catalog) error {
 	byAlias := make(map[string]string, len(q.Refs))
 	for _, r := range q.Refs {
 		if _, dup := byAlias[r.Alias]; dup {

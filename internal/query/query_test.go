@@ -224,8 +224,14 @@ func TestDeriveSchemaEdges(t *testing.T) {
 		t.Fatalf("edges = %v", edges)
 	}
 	e := edges[0]
-	if e.Key() != "t1.id=t2.t1_id" {
-		t.Fatalf("edge key = %s", e.Key())
+	// The edge key is side-normalized: discovering the FK from either
+	// direction yields the same identifier.
+	flipped := SchemaEdge{T1: e.T2, C1: e.C2, T2: e.T1, C2: e.C1}
+	if e.Key() != flipped.Key() {
+		t.Fatalf("edge key not side-normalized: %s vs %s", e.Key(), flipped.Key())
+	}
+	if (SchemaEdge{T1: "t1", C1: "id", T2: "t9", C2: "t1_id"}).Key() == e.Key() {
+		t.Fatal("distinct edges share a key")
 	}
 }
 

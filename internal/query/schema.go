@@ -14,8 +14,27 @@ type SchemaEdge struct {
 	T2, C2 string
 }
 
-// Key returns the canonical edge identifier.
+// Key returns the canonical edge identifier, side-normalized so the
+// same edge hashes identically whichever way it was discovered. Encoded
+// through KeyBuilder like every other key in the module: table/column
+// names are length-prefixed, so names containing "."/"=" cannot make
+// two distinct edges collide.
 func (e SchemaEdge) Key() string {
+	t1, c1, t2, c2 := e.T1, e.C1, e.T2, e.C2
+	if t1 > t2 || (t1 == t2 && c1 > c2) {
+		t1, c1, t2, c2 = t2, c2, t1, c1
+	}
+	var k KeyBuilder
+	k.Raw("e(").Atom(t1).Raw(".").Atom(c1).Raw("=").Atom(t2).Raw(".").Atom(c2).Raw(")")
+	return k.String()
+}
+
+// label is the edge's display form, used only to order DeriveSchemaEdges
+// output. It intentionally keeps the pre-KeyBuilder rendering so the
+// deterministic edge order (and every seeded workload generated from it)
+// is stable across the key-encoding change; identity/dedup goes through
+// Key, never label.
+func (e SchemaEdge) label() string {
 	a, b := e.T1+"."+e.C1, e.T2+"."+e.C2
 	if a > b {
 		a, b = b, a
@@ -54,7 +73,7 @@ func DeriveSchemaEdges(cat *data.Catalog) []SchemaEdge {
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	sort.Slice(out, func(i, j int) bool { return out[i].label() < out[j].label() })
 	return out
 }
 

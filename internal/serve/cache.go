@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"lqo/internal/metrics"
+	"lqo/internal/plan"
+)
+
+// PlanCache is an LRU cache of optimized physical plans keyed by the
+// collision-safe canonical query key (query.Key for ad-hoc SQL,
+// sqlx.Prepared.ShapeKey for prepared statements — the two key spaces
+// cannot collide because placeholder markers sit outside length-prefixed
+// atoms). Entries carry the estimated cardinality of every sub-plan at
+// optimization time; execution feedback (opt.CardsFromPlan) is replayed
+// against that snapshot and an entry whose estimates have drifted past a
+// q-error threshold is evicted, forcing a replan with fresh feedback —
+// the Eraser-style "is the cached plan still behaving?" gate.
+//
+// Plans are cloned on every Put and Get: callers own their tree (the
+// executor annotates TrueCard in place) and can never corrupt the cached
+// copy. Safe for concurrent use.
+type PlanCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+	stats   CacheStats
+}
+
+// CacheStats is a snapshot of cache effectiveness counters.
+type CacheStats struct {
+	Hits          int64
+	Misses        int64
+	Invalidations int64 // entries evicted by feedback drift
+	Evictions     int64 // entries evicted by capacity
+}
+
+type cacheEntry struct {
+	key string
+	p   *plan.Node
+	// est maps sub-plan ordinal (pre-order position) to the estimated
+	// cardinality the optimizer planned with. Position-keyed rather than
+	// sub-query-keyed so the same snapshot works for prepared-statement
+	// generic plans, where later bindings change every sub-query key but
+	// not the tree shape.
+	est []float64
+}
+
+// NewPlanCache returns a cache holding at most capacity plans
+// (capacity <= 0 selects the default of 512).
+func NewPlanCache(capacity int) *PlanCache {
+	if capacity <= 0 {
+		capacity = 512
+	}
+	return &PlanCache{
+		cap:     capacity,
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// Get returns a private clone of the cached plan for key, or nil on miss.
+func (c *PlanCache) Get(key string) *plan.Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.stats.Misses++
+		return nil
+	}
+	c.stats.Hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).p.Clone()
+}
+
+// Put stores an optimized plan under key, snapshotting its per-node
+// estimated cardinalities for later drift checks. The cache keeps its
+// own clone.
+func (c *PlanCache) Put(key string, p *plan.Node) {
+	est := make([]float64, 0, 8)
+	p.Walk(func(n *plan.Node) { est = append(est, n.EstCard) })
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).p = p.Clone()
+		el.Value.(*cacheEntry).est = est
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, p: p.Clone(), est: est})
+	for c.order.Len() > c.cap {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.entries, back.Value.(*cacheEntry).key)
+		c.stats.Evictions++
+	}
+}
+
+// Observe replays execution feedback against the cached entry for key:
+// executed is the TrueCard-annotated plan tree that just ran (a clone of
+// the cached plan, so pre-order positions line up). When any sub-plan's
+// estimate drifts beyond maxQErr (q-error of estimated vs true
+// cardinality), the entry is invalidated and Observe reports true — the
+// signal that the next request should replan with feedback. maxQErr <= 1
+// disables invalidation.
+func (c *PlanCache) Observe(key string, executed *plan.Node, maxQErr float64) bool {
+	if maxQErr <= 1 {
+		return false
+	}
+	truth := make([]float64, 0, 8)
+	executed.Walk(func(n *plan.Node) { truth = append(truth, n.TrueCard) })
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return false
+	}
+	est := el.Value.(*cacheEntry).est
+	if len(est) != len(truth) {
+		// Shape mismatch: the executed tree is not this entry's plan
+		// (stale feedback after a replan); drop it rather than misjudge.
+		return false
+	}
+	for i := range est {
+		if metrics.QError(est[i], truth[i]) > maxQErr {
+			c.order.Remove(el)
+			delete(c.entries, key)
+			c.stats.Invalidations++
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate drops the entry for key, reporting whether it was present.
+func (c *PlanCache) Invalidate(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return false
+	}
+	c.order.Remove(el)
+	delete(c.entries, key)
+	c.stats.Invalidations++
+	return true
+}
+
+// Len reports the number of cached plans.
+func (c *PlanCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats returns a snapshot of the counters.
+func (c *PlanCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}

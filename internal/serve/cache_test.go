@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+
+	"lqo/internal/plan"
+)
+
+func scanPlan(est, truth float64) *plan.Node {
+	n := plan.NewScan(plan.SeqScan, "t", "t", nil)
+	n.EstCard, n.TrueCard = est, truth
+	return n
+}
+
+func TestPlanCacheLRUEviction(t *testing.T) {
+	c := NewPlanCache(2)
+	c.Put("a", scanPlan(1, 1))
+	c.Put("b", scanPlan(1, 1))
+	if c.Get("a") == nil { // refresh a; b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.Put("c", scanPlan(1, 1))
+	if c.Get("b") != nil {
+		t.Fatal("LRU entry b survived eviction")
+	}
+	if c.Get("a") == nil || c.Get("c") == nil {
+		t.Fatal("recently used entries evicted")
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("Evictions = %d", st.Evictions)
+	}
+}
+
+func TestPlanCacheGetReturnsClone(t *testing.T) {
+	c := NewPlanCache(0)
+	c.Put("k", scanPlan(10, 0))
+	p := c.Get("k")
+	p.TrueCard = 99 // executor annotation on the caller's copy
+	if q := c.Get("k"); q.TrueCard == 99 {
+		t.Fatal("cache handed out a shared tree")
+	}
+}
+
+func TestPlanCacheObserveDrift(t *testing.T) {
+	c := NewPlanCache(0)
+	c.Put("k", scanPlan(10, 0))
+
+	ok := scanPlan(10, 12) // q-error 1.2, inside threshold
+	if c.Observe("k", ok, 4) {
+		t.Fatal("in-threshold feedback invalidated")
+	}
+	if c.Get("k") == nil {
+		t.Fatal("entry lost")
+	}
+
+	bad := scanPlan(10, 1000) // q-error 100
+	if !c.Observe("k", bad, 4) {
+		t.Fatal("drifted feedback not invalidated")
+	}
+	if c.Len() != 0 {
+		t.Fatal("invalidated entry still cached")
+	}
+	if st := c.Stats(); st.Invalidations != 1 {
+		t.Fatalf("Invalidations = %d", st.Invalidations)
+	}
+	// Observing a missing key is a no-op.
+	if c.Observe("k", bad, 4) {
+		t.Fatal("missing key invalidated")
+	}
+}
+
+func TestPlanCacheObserveDisabledAndShapeMismatch(t *testing.T) {
+	c := NewPlanCache(0)
+	c.Put("k", scanPlan(10, 0))
+	bad := scanPlan(10, 1000)
+	if c.Observe("k", bad, 1) || c.Observe("k", bad, 0) {
+		t.Fatal("disabled threshold invalidated")
+	}
+	// A tree of a different shape (stale feedback) must not misjudge.
+	join := plan.NewJoin(plan.HashJoin, scanPlan(1, 1), scanPlan(1, 1), nil)
+	join.EstCard, join.TrueCard = 1, 1e9
+	if c.Observe("k", join, 4) {
+		t.Fatal("shape-mismatched feedback invalidated")
+	}
+}
+
+func TestPlanCacheCapacityDefault(t *testing.T) {
+	c := NewPlanCache(-5)
+	for i := 0; i < 600; i++ {
+		c.Put(fmt.Sprintf("k%d", i), scanPlan(1, 1))
+	}
+	if c.Len() != 512 {
+		t.Fatalf("Len = %d, want 512", c.Len())
+	}
+}

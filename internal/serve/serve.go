@@ -1,0 +1,269 @@
+// Package serve is the session-oriented serving layer over the workbench
+// engine: the piece the tutorial's deployment section says every learned
+// optimizer needs before it can face real traffic. It canonicalizes SQL
+// into a collision-safe cache key (the same length-prefixed encoding
+// query.Key and plan.Fingerprint share), caches optimized plans across
+// requests, supports ?-parameterized prepared statements that skip both
+// parsing and planning on the hot path, invalidates cached plans when
+// cardinality feedback shows their estimates have drifted, and applies
+// per-tenant admission control backed by guard circuit breakers so one
+// misbehaving tenant cannot starve the rest.
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"lqo/internal/data"
+	"lqo/internal/exec"
+	"lqo/internal/guard"
+	"lqo/internal/metrics"
+	"lqo/internal/opt"
+	"lqo/internal/plan"
+	"lqo/internal/query"
+	"lqo/internal/sqlx"
+)
+
+// Config tunes a Server. Zero values select the defaults.
+type Config struct {
+	// CacheSize caps the plan cache (default 512 plans).
+	CacheSize int
+	// InvalidateQError is the per-sub-plan q-error beyond which a cached
+	// plan's estimates count as drifted and the entry is invalidated
+	// (default 4; set negative to disable invalidation).
+	InvalidateQError float64
+	// TenantSlots is the per-tenant concurrent-execution limit
+	// (default 16).
+	TenantSlots int
+	// TenantQueue bounds how many requests may wait per tenant once the
+	// slots are full; arrivals beyond it are rejected with ErrOverloaded
+	// (default 64).
+	TenantQueue int
+	// Breaker configures the per-tenant circuit breaker. A tenant whose
+	// requests keep failing trips its breaker and is shed with ErrShed
+	// until the cooldown elapses.
+	Breaker guard.BreakerConfig
+	// FeedbackCap bounds the harvested-cardinality store used to replan
+	// invalidated entries (default 8192 sub-query keys).
+	FeedbackCap int
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheSize <= 0 {
+		c.CacheSize = 512
+	}
+	if c.InvalidateQError == 0 {
+		c.InvalidateQError = 4
+	}
+	if c.TenantSlots <= 0 {
+		c.TenantSlots = 16
+	}
+	if c.TenantQueue <= 0 {
+		c.TenantQueue = 64
+	}
+	if c.FeedbackCap <= 0 {
+		c.FeedbackCap = 8192
+	}
+	return c
+}
+
+// Result is what a serving-layer client gets back.
+type Result struct {
+	Count   int64         // result cardinality
+	Value   float64       // the query's aggregate (equals Count for COUNT(*))
+	Latency float64       // deterministic work units spent executing
+	Cached  bool          // plan came from the cache (no optimizer call)
+	Plan    time.Duration // wall-clock spent obtaining the plan (lookup or optimize)
+}
+
+// Stats is a snapshot of the server's counters.
+type Stats struct {
+	Cache     CacheStats
+	ColdPlans int64 // optimizer invocations (cache misses + replans)
+	Rejected  int64 // admission rejections (queue full)
+	Shed      int64 // breaker-shed requests
+}
+
+// Stmt is a server-side prepared statement: parse once, Exec per binding.
+// Obtain one from Server.Prepare; safe for concurrent Exec calls.
+type Stmt struct {
+	p *sqlx.Prepared
+}
+
+// NumParams reports the statement's placeholder count.
+func (s *Stmt) NumParams() int { return s.p.NumParams() }
+
+// SQL returns the template rendered back to SQL with ? placeholders.
+func (s *Stmt) SQL() string { return s.p.SQL() }
+
+// Server serves queries over one catalog with plan caching,
+// feedback-driven invalidation and per-tenant admission control. Safe for
+// concurrent use.
+type Server struct {
+	cat   *data.Catalog
+	opt   *opt.Optimizer
+	ex    *exec.Executor
+	cfg   Config
+	cache *PlanCache
+	adm   *admission
+
+	mu        sync.Mutex
+	feedback  map[string]float64 // sub-query key -> harvested true card
+	coldPlans int64
+}
+
+// New assembles a server over cat using o to plan and ex to execute.
+func New(cat *data.Catalog, o *opt.Optimizer, ex *exec.Executor, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cat:      cat,
+		opt:      o,
+		ex:       ex,
+		cfg:      cfg,
+		cache:    NewPlanCache(cfg.CacheSize),
+		adm:      newAdmission(cfg.TenantSlots, cfg.TenantQueue, cfg.Breaker),
+		feedback: make(map[string]float64),
+	}
+}
+
+// feedbackEstimator overlays harvested true cardinalities on the server's
+// base estimator, so a replan after invalidation uses execution truth
+// where it is known (PilotScope's PushCards, wired into serving).
+type feedbackEstimator struct {
+	s    *Server
+	base opt.CardEstimator
+}
+
+// Estimate implements opt.CardEstimator.
+func (fe *feedbackEstimator) Estimate(q *query.Query) float64 {
+	fe.s.mu.Lock()
+	c, ok := fe.s.feedback[q.Key()]
+	fe.s.mu.Unlock()
+	if ok {
+		return metrics.ClampCard(c)
+	}
+	return metrics.ClampCard(fe.base.Estimate(q))
+}
+
+// Query parses, plans (or reuses a cached plan) and executes sql on
+// behalf of tenant. The canonical query key — not the SQL text — is the
+// cache key, so formatting, alias order and literal spelling variants of
+// the same query share one plan.
+func (s *Server) Query(ctx context.Context, tenant, sql string) (*Result, error) {
+	q, err := sqlx.Parse(sql, s.cat)
+	if err != nil {
+		return nil, err
+	}
+	return s.run(ctx, tenant, q, q.Key(), false)
+}
+
+// Prepare parses and validates a ?-parameterized statement template.
+// Prepare is admission-free: it does no planning or execution.
+func (s *Server) Prepare(sql string) (*Stmt, error) {
+	p, err := sqlx.Prepare(sql, s.cat)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{p: p}, nil
+}
+
+// Exec binds args into stmt and executes it for tenant. Plans are cached
+// on the statement's shape key: the first execution plans a generic plan,
+// later executions reuse its join order and operators with the current
+// binding's predicates rebound onto the scan leaves. Feedback-driven
+// invalidation replans when that generic plan stops fitting the observed
+// cardinalities.
+func (s *Server) Exec(ctx context.Context, tenant string, stmt *Stmt, args ...any) (*Result, error) {
+	q, err := stmt.p.Bind(args...)
+	if err != nil {
+		return nil, err
+	}
+	return s.run(ctx, tenant, q, stmt.p.ShapeKey(), true)
+}
+
+// run is the shared serving path: admit, fetch-or-plan, execute, harvest
+// feedback, observe drift.
+func (s *Server) run(ctx context.Context, tenant string, q *query.Query, key string, rebind bool) (*Result, error) {
+	release, br, err := s.adm.acquire(ctx, tenant)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+
+	planStart := time.Now()
+	p := s.cache.Get(key)
+	cached := p != nil
+	if cached && rebind {
+		// Generic-plan reuse: keep the cached join order and operators,
+		// swap in this binding's literal predicates at the leaves.
+		p.Walk(func(n *plan.Node) {
+			if n.IsLeaf() {
+				n.Preds = q.PredsOn(n.Alias)
+			}
+		})
+	}
+	if p == nil {
+		o := s.opt.WithEstimator(&feedbackEstimator{s: s, base: s.opt.Est})
+		p, err = o.OptimizeCtx(ctx, q)
+		if err != nil {
+			br.Failure()
+			return nil, err
+		}
+		s.mu.Lock()
+		s.coldPlans++
+		s.mu.Unlock()
+		s.cache.Put(key, p)
+	}
+	planDur := time.Since(planStart)
+
+	res, err := s.ex.RunCtx(ctx, q, p)
+	if err != nil {
+		br.Failure()
+		return nil, err
+	}
+	br.Success()
+
+	s.absorb(opt.CardsFromPlan(q, p))
+	if cached {
+		s.cache.Observe(key, p, s.cfg.InvalidateQError)
+	}
+	return &Result{Count: res.Count, Value: res.Value, Latency: res.Stats.WorkUnits, Cached: cached, Plan: planDur}, nil
+}
+
+// absorb merges harvested cardinalities into the feedback store, bounded
+// by FeedbackCap (existing keys always update; new keys stop landing once
+// the store is full, keeping memory bounded without eviction churn).
+func (s *Server) absorb(cards map[string]float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, v := range cards {
+		if _, ok := s.feedback[k]; !ok && len(s.feedback) >= s.cfg.FeedbackCap {
+			continue
+		}
+		s.feedback[k] = v
+	}
+}
+
+// Invalidate drops the cached plan for the canonical key of sql,
+// reporting whether one was cached. Prepared-statement entries can be
+// dropped by passing the template (placeholders included).
+func (s *Server) Invalidate(sql string) (bool, error) {
+	p, err := sqlx.Prepare(sql, s.cat)
+	if err != nil {
+		return false, err
+	}
+	return s.cache.Invalidate(p.ShapeKey()), nil
+}
+
+// Stats returns a snapshot of the server's counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	cold := s.coldPlans
+	s.mu.Unlock()
+	rejected, shed := s.adm.stats()
+	return Stats{Cache: s.cache.Stats(), ColdPlans: cold, Rejected: rejected, Shed: shed}
+}
+
+// CacheLen reports how many plans are currently cached.
+func (s *Server) CacheLen() int { return s.cache.Len() }

@@ -27,7 +27,8 @@ const (
 	tokRParen
 	tokStar
 	tokSemi
-	tokOp // = <> != < <= > >=
+	tokOp    // = <> != < <= > >=
+	tokParam // ? prepared-statement placeholder
 )
 
 type token struct {
@@ -68,6 +69,8 @@ func lex(src string) ([]token, error) {
 			l.emit(tokStar, "*")
 		case c == ';':
 			l.emit(tokSemi, ";")
+		case c == '?':
+			l.emit(tokParam, "?")
 		case c == '=':
 			l.emit(tokOp, "=")
 		case c == '<':

@@ -24,6 +24,9 @@ func Parse(sql string, cat *data.Catalog) (*query.Query, error) {
 	if err != nil {
 		return nil, err
 	}
+	if p.params > 0 {
+		return nil, fmt.Errorf("sqlx: statement has %d parameter placeholder(s); use Prepare", p.params)
+	}
 	if err := q.Validate(cat); err != nil {
 		return nil, err
 	}
@@ -31,10 +34,11 @@ func Parse(sql string, cat *data.Catalog) (*query.Query, error) {
 }
 
 type parser struct {
-	toks []token
-	i    int
-	cat  *data.Catalog
-	q    *query.Query
+	toks   []token
+	i      int
+	cat    *data.Catalog
+	q      *query.Query
+	params int // placeholder ordinals handed out so far
 }
 
 func (p *parser) cur() token  { return p.toks[p.i] }
@@ -222,19 +226,20 @@ func (p *parser) parseCondition() error {
 	}
 	if p.isKeyword("BETWEEN") {
 		p.next()
-		lo, err := p.parseLiteral(lhs)
+		lo, loParam, err := p.parseLiteral(lhs)
 		if err != nil {
 			return err
 		}
 		if err := p.expectKeyword("AND"); err != nil {
 			return err
 		}
-		hi, err := p.parseLiteral(lhs)
+		hi, hiParam, err := p.parseLiteral(lhs)
 		if err != nil {
 			return err
 		}
 		p.q.Preds = append(p.q.Preds, query.Pred{
-			Alias: lhs.alias, Column: lhs.column, Op: query.Between, Val: lo, Val2: hi,
+			Alias: lhs.alias, Column: lhs.column, Op: query.Between,
+			Val: lo, Val2: hi, Param: loParam, Param2: hiParam,
 		})
 		return nil
 	}
@@ -258,12 +263,12 @@ func (p *parser) parseCondition() error {
 		})
 		return nil
 	}
-	val, err := p.parseLiteral(lhs)
+	val, param, err := p.parseLiteral(lhs)
 	if err != nil {
 		return err
 	}
 	p.q.Preds = append(p.q.Preds, query.Pred{
-		Alias: lhs.alias, Column: lhs.column, Op: op, Val: val,
+		Alias: lhs.alias, Column: lhs.column, Op: op, Val: val, Param: param,
 	})
 	return nil
 }
@@ -287,31 +292,37 @@ func parseOp(s string) (query.CmpOp, error) {
 	}
 }
 
-func (p *parser) parseLiteral(ref colRef) (data.Value, error) {
+// parseLiteral parses a literal value or a ? placeholder. For a literal
+// the returned ordinal is 0; for a placeholder the value is zero and the
+// ordinal is the placeholder's 1-based position in the statement.
+func (p *parser) parseLiteral(ref colRef) (data.Value, int, error) {
 	t := p.next()
 	switch t.kind {
+	case tokParam:
+		p.params++
+		return data.Value{}, p.params, nil
 	case tokNumber:
 		if strings.Contains(t.text, ".") {
 			f, err := strconv.ParseFloat(t.text, 64)
 			if err != nil {
-				return data.Value{}, fmt.Errorf("sqlx: bad float %q at %d", t.text, t.pos)
+				return data.Value{}, 0, fmt.Errorf("sqlx: bad float %q at %d", t.text, t.pos)
 			}
-			return data.FloatVal(f), nil
+			return data.FloatVal(f), 0, nil
 		}
 		n, err := strconv.ParseInt(t.text, 10, 64)
 		if err != nil {
-			return data.Value{}, fmt.Errorf("sqlx: bad integer %q at %d", t.text, t.pos)
+			return data.Value{}, 0, fmt.Errorf("sqlx: bad integer %q at %d", t.text, t.pos)
 		}
 		if ref.col != nil && ref.col.Kind == data.Float {
-			return data.FloatVal(float64(n)), nil
+			return data.FloatVal(float64(n)), 0, nil
 		}
-		return data.IntVal(n), nil
+		return data.IntVal(n), 0, nil
 	case tokString:
 		if ref.col == nil {
-			return data.Value{}, fmt.Errorf("sqlx: cannot resolve string literal for unknown column %s.%s", ref.alias, ref.column)
+			return data.Value{}, 0, fmt.Errorf("sqlx: cannot resolve string literal for unknown column %s.%s", ref.alias, ref.column)
 		}
 		if ref.col.Kind != data.String || ref.col.Dict == nil {
-			return data.Value{}, fmt.Errorf("sqlx: string literal on non-text column %s.%s", ref.alias, ref.column)
+			return data.Value{}, 0, fmt.Errorf("sqlx: string literal on non-text column %s.%s", ref.alias, ref.column)
 		}
 		code, ok := ref.col.Dict.Lookup(t.text)
 		if !ok {
@@ -319,8 +330,8 @@ func (p *parser) parseLiteral(ref colRef) (data.Value, error) {
 			// as an out-of-domain code so execution yields zero rows.
 			code = int64(ref.col.Dict.Len()) + 1
 		}
-		return data.IntVal(code), nil
+		return data.IntVal(code), 0, nil
 	default:
-		return data.Value{}, fmt.Errorf("sqlx: expected literal, got %s at %d", t, t.pos)
+		return data.Value{}, 0, fmt.Errorf("sqlx: expected literal, got %s at %d", t, t.pos)
 	}
 }

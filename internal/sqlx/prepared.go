@@ -1,0 +1,143 @@
+package sqlx
+
+import (
+	"fmt"
+
+	"lqo/internal/data"
+	"lqo/internal/query"
+)
+
+// Prepared is a parsed, validated statement template with ?-placeholder
+// parameters: the parse/plan-relevant shape is fixed, only literal values
+// vary per execution. Prepare once, Bind per execution; the serving
+// layer caches optimized plans keyed on ShapeKey so repeated executions
+// of the same template skip both parsing and planning.
+//
+// A Prepared is immutable after construction and safe for concurrent
+// Bind calls.
+type Prepared struct {
+	tmpl  *query.Query
+	slots []slot
+	shape string
+	sql   string
+}
+
+// slot records where one placeholder binds: the predicate index, which
+// side of a BETWEEN it fills, and the resolved target column (for
+// literal coercion exactly mirroring parseLiteral).
+type slot struct {
+	pred   int
+	second bool
+	col    *data.Column
+	alias  string
+	column string
+}
+
+// Prepare parses a statement template containing ? placeholders and
+// binds its table/column references against cat. The template's
+// structure is validated eagerly; literal values arrive later via Bind.
+// Statements without placeholders prepare fine (NumParams is 0), so
+// callers can route all traffic through Prepare/Bind uniformly.
+func Prepare(sql string, cat *data.Catalog) (*Prepared, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, cat: cat}
+	q, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if err := q.ValidateShape(cat); err != nil {
+		return nil, err
+	}
+	slots := make([]slot, p.params)
+	for i, pr := range q.Preds {
+		for _, side := range []struct {
+			ord    int
+			second bool
+		}{{pr.Param, false}, {pr.Param2, true}} {
+			if side.ord == 0 {
+				continue
+			}
+			col := cat.Table(q.TableOf(pr.Alias)).Column(pr.Column)
+			slots[side.ord-1] = slot{pred: i, second: side.second, col: col, alias: pr.Alias, column: pr.Column}
+		}
+	}
+	return &Prepared{tmpl: q, slots: slots, shape: q.Key(), sql: q.SQL()}, nil
+}
+
+// NumParams reports how many placeholders the template has.
+func (p *Prepared) NumParams() int { return len(p.slots) }
+
+// ShapeKey returns the canonical key of the parameterized shape:
+// placeholders render as "?N" ordinals inside the collision-safe
+// query.Key encoding, so two templates share a ShapeKey exactly when
+// they are the same query modulo bound values. This is the plan-cache
+// key for prepared statements.
+func (p *Prepared) ShapeKey() string { return p.shape }
+
+// SQL returns the template rendered back to SQL with ? placeholders.
+func (p *Prepared) SQL() string { return p.sql }
+
+// Bind materializes an executable query from the template: one argument
+// per placeholder, in statement order. Accepted argument types are
+// int/int64 (integer literal), float64 (float literal), string (text
+// literal, resolved through the column dictionary exactly like a parsed
+// literal — unknown strings become an out-of-domain code matching zero
+// rows), and data.Value (passed through). The returned query is a fresh
+// clone; the template is never mutated.
+func (p *Prepared) Bind(args ...any) (*query.Query, error) {
+	if len(args) != len(p.slots) {
+		return nil, fmt.Errorf("sqlx: bind got %d args, statement has %d placeholder(s)", len(args), len(p.slots))
+	}
+	q := p.tmpl.Clone()
+	for i, s := range p.slots {
+		v, err := coerce(args[i], s)
+		if err != nil {
+			return nil, fmt.Errorf("sqlx: bind arg %d: %w", i+1, err)
+		}
+		pr := &q.Preds[s.pred]
+		if s.second {
+			pr.Val2, pr.Param2 = v, 0
+		} else {
+			pr.Val, pr.Param = v, 0
+		}
+	}
+	return q, nil
+}
+
+// coerce converts one bind argument to the slot column's value domain.
+func coerce(arg any, s slot) (data.Value, error) {
+	switch a := arg.(type) {
+	case data.Value:
+		return a, nil
+	case int:
+		return coerceInt(int64(a), s), nil
+	case int64:
+		return coerceInt(a, s), nil
+	case float64:
+		if s.col != nil && s.col.Kind == data.String {
+			return data.Value{}, fmt.Errorf("float bind on text column %s.%s", s.alias, s.column)
+		}
+		return data.FloatVal(a), nil
+	case string:
+		if s.col == nil || s.col.Kind != data.String || s.col.Dict == nil {
+			return data.Value{}, fmt.Errorf("string bind on non-text column %s.%s", s.alias, s.column)
+		}
+		code, ok := s.col.Dict.Lookup(a)
+		if !ok {
+			code = int64(s.col.Dict.Len()) + 1
+		}
+		return data.IntVal(code), nil
+	default:
+		return data.Value{}, fmt.Errorf("unsupported bind type %T", arg)
+	}
+}
+
+func coerceInt(n int64, s slot) data.Value {
+	if s.col != nil && s.col.Kind == data.Float {
+		return data.FloatVal(float64(n))
+	}
+	return data.IntVal(n)
+}

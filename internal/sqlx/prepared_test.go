@@ -1,0 +1,188 @@
+package sqlx
+
+import (
+	"testing"
+
+	"lqo/internal/data"
+	"lqo/internal/query"
+)
+
+func TestPrepareBindRoundTrip(t *testing.T) {
+	cat := testCatalog()
+	stmt, err := Prepare("SELECT COUNT(*) FROM items i, orders o WHERE i.id = o.item_id AND i.score > ? AND i.name = ?;", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.NumParams() != 2 {
+		t.Fatalf("NumParams = %d", stmt.NumParams())
+	}
+	q, err := stmt.Bind(int64(10), "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumParams() != 0 {
+		t.Fatalf("bound query still has %d params", q.NumParams())
+	}
+	// The bound query must equal a direct parse of the same statement
+	// with literals inlined — key-identical, hence plan-identical.
+	direct, err := Parse("SELECT COUNT(*) FROM items i, orders o WHERE i.id = o.item_id AND i.score > 10 AND i.name = 'bob';", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Key() != direct.Key() {
+		t.Fatalf("bound key != direct key:\n%s\n%s", q.Key(), direct.Key())
+	}
+	if err := q.Validate(cat); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrepareBetweenParams(t *testing.T) {
+	cat := testCatalog()
+	stmt, err := Prepare("SELECT COUNT(*) FROM items WHERE items.score BETWEEN ? AND ?;", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := stmt.Bind(10, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := q.Preds[0]
+	if p.Op != query.Between || p.Val.I != 10 || p.Val2.I != 30 {
+		t.Fatalf("pred = %+v", p)
+	}
+	// Mixed placeholder/literal BETWEEN.
+	stmt2, err := Prepare("SELECT COUNT(*) FROM items WHERE items.score BETWEEN 0 AND ?;", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt2.NumParams() != 1 {
+		t.Fatalf("NumParams = %d", stmt2.NumParams())
+	}
+	q2, err := stmt2.Bind(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2.Preds[0].Val.I != 0 || q2.Preds[0].Val2.I != 30 {
+		t.Fatalf("pred = %+v", q2.Preds[0])
+	}
+}
+
+func TestPrepareShapeKey(t *testing.T) {
+	cat := testCatalog()
+	a, err := Prepare("SELECT COUNT(*) FROM items WHERE items.score > ?;", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same shape, different whitespace/case: one cache entry.
+	b, err := Prepare("select count(*) from items where items.score > ?", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ShapeKey() != b.ShapeKey() {
+		t.Fatalf("equivalent templates have different shape keys:\n%s\n%s", a.ShapeKey(), b.ShapeKey())
+	}
+	// Different shape: distinct entries.
+	c, err := Prepare("SELECT COUNT(*) FROM items WHERE items.score < ?;", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ShapeKey() == c.ShapeKey() {
+		t.Fatal("different operators share a shape key")
+	}
+	// A template's shape key never equals any bound query's key.
+	bound, err := a.Bind(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ShapeKey() == bound.Key() {
+		t.Fatal("shape key collides with bound key")
+	}
+}
+
+func TestPrepareTemplateSQLReprepares(t *testing.T) {
+	cat := testCatalog()
+	src := "SELECT COUNT(*) FROM items WHERE items.score BETWEEN ? AND ? AND items.price > ?;"
+	a, err := Prepare(src, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Prepare(a.SQL(), cat)
+	if err != nil {
+		t.Fatalf("template SQL %q does not re-prepare: %v", a.SQL(), err)
+	}
+	if a.ShapeKey() != b.ShapeKey() {
+		t.Fatalf("re-prepared template changed shape:\n%s\n%s", a.ShapeKey(), b.ShapeKey())
+	}
+}
+
+func TestBindCoercionAndErrors(t *testing.T) {
+	cat := testCatalog()
+	stmt, err := Prepare("SELECT COUNT(*) FROM items WHERE items.price > ?;", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Integer arg on a float column coerces to a float literal, exactly
+	// like parseLiteral does for "items.price > 1".
+	q, err := stmt.Bind(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Preds[0].Val.K != data.Float || q.Preds[0].Val.F != 1 {
+		t.Fatalf("val = %+v", q.Preds[0].Val)
+	}
+	if _, err := stmt.Bind("nope"); err == nil {
+		t.Fatal("string bind on float column accepted")
+	}
+	if _, err := stmt.Bind(); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	if _, err := stmt.Bind(1, 2); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	if _, err := stmt.Bind(struct{}{}); err == nil {
+		t.Fatal("unsupported bind type accepted")
+	}
+
+	name, err := Prepare("SELECT COUNT(*) FROM items WHERE items.name = ?;", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unknown dictionary strings bind to an out-of-domain code: the
+	// query is valid and matches zero rows, mirroring parsed literals.
+	q2, err := name.Bind("zzz-not-present")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q2.Validate(cat); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := name.Bind(3.5); err == nil {
+		t.Fatal("float bind on text column accepted")
+	}
+}
+
+func TestParseRejectsBarePlaceholders(t *testing.T) {
+	cat := testCatalog()
+	if _, err := Parse("SELECT COUNT(*) FROM items WHERE items.score > ?;", cat); err == nil {
+		t.Fatal("Parse accepted an unbound placeholder")
+	}
+}
+
+func TestPrepareWithoutPlaceholders(t *testing.T) {
+	cat := testCatalog()
+	stmt, err := Prepare("SELECT COUNT(*) FROM items WHERE items.score > 10;", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.NumParams() != 0 {
+		t.Fatalf("NumParams = %d", stmt.NumParams())
+	}
+	q, err := stmt.Bind()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Validate(cat); err != nil {
+		t.Fatal(err)
+	}
+}
