@@ -7,9 +7,10 @@
 #   make fuzz    — short fuzz smoke over the SQL parser and key encoding
 #   make verify  — what CI runs: build + vet + lint + tests + race + fuzz
 #                  smoke, then staticcheck & govulncheck (skipped offline)
-#   make bench   — regenerate every experiment table (E1..E10, E13, E14)
+#   make bench   — regenerate every experiment table (E1..E10, E13..E15)
 #   make bench-smoke — compile-and-run every Go benchmark once (no timing)
 #   make load-smoke  — E14 sustained-load smoke through the serving layer
+#   make drift-smoke — E15 closed-loop adaptation under staged drift
 #   make chaos   — E10 only: guardrail runtime under fault injection
 
 GO ?= go
@@ -24,7 +25,7 @@ GOVULNCHECK_VERSION ?= v1.1.3
 
 FUZZTIME ?= 10s
 
-.PHONY: build test vet lint staticcheck govulncheck race fuzz verify bench bench-smoke load-smoke chaos
+.PHONY: build test vet lint staticcheck govulncheck race fuzz verify bench bench-smoke load-smoke drift-smoke chaos
 
 build:
 	$(GO) build ./...
@@ -79,6 +80,12 @@ bench-smoke:
 # if cached results diverge from uncached baselines or serving errors.
 load-smoke:
 	$(GO) run ./cmd/lqo-bench -exp E14 -load-qps 100 -load-dur 3s
+
+# A short E15 run: the closed adaptation loop over a drifting catalog.
+# Fails loudly if the loop errors; the printed table shows whether the
+# adaptive arm held its GMRL while the frozen baseline degraded.
+drift-smoke:
+	$(GO) run ./cmd/lqo-bench -exp E15 -adapt-stages 2
 
 chaos:
 	$(GO) run ./cmd/lqo-bench -chaos

@@ -1,5 +1,5 @@
-// Command lqo-bench regenerates the workbench's experiment tables E1–E10,
-// E13 and E14 (see DESIGN.md for the experiment index and EXPERIMENTS.md
+// Command lqo-bench regenerates the workbench's experiment tables E1–E10
+// and E13–E15 (see DESIGN.md for the experiment index and EXPERIMENTS.md
 // for recorded results).
 //
 // Usage:
@@ -10,6 +10,7 @@
 //	lqo-bench -exp E9 -parallel 8      # concurrent throughput, 1 vs 8 goroutines
 //	lqo-bench -exp E13                 # vectorized kernels vs scalar filter path
 //	lqo-bench -exp E14 -load-qps 500   # open-loop sustained load through the serving layer
+//	lqo-bench -exp E15 -adapt-stages 4 # closed-loop adaptation under staged drift
 //	lqo-bench -exp E5 -novec           # any experiment with vectorization disabled
 //	lqo-bench -chaos                   # E10 guardrails under fault injection
 //	lqo-bench -chaos -chaos-rates 0,0.25 -chaos-timeout 2ms
@@ -44,6 +45,11 @@ func main() {
 		loadWorkers  = flag.Int("load-workers", 0, "E14 serving goroutines (0 = GOMAXPROCS)")
 		loadSLO      = flag.Float64("load-slo", 50, "E14 end-to-end latency SLO in milliseconds")
 
+		adaptStages   = flag.Int("adapt-stages", 3, "E15 drift stages after the clean stage")
+		adaptTraffic  = flag.Int("adapt-traffic", 40, "E15 served queries per stage")
+		adaptHoldout  = flag.Int("adapt-holdout", 12, "E15 gate holdout size per stage")
+		adaptFraction = flag.Float64("adapt-fraction", 0.6, "E15 appended-row fraction per drift stage")
+
 		chaosFlag    = flag.Bool("chaos", false, "shorthand for -exp E10: guardrail runtime under fault injection")
 		chaosRates   = flag.String("chaos-rates", "0,0.01,0.10", "E10 comma-separated fault rates in [0,1]")
 		chaosTimeout = flag.Duration("chaos-timeout", 5*time.Millisecond, "E10 per-decision budget for the learned planner")
@@ -60,7 +66,7 @@ func main() {
 	case *chaosFlag:
 		want["E10"] = true
 	case *expFlag == "all":
-		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E13", "E14"} {
+		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E13", "E14", "E15"} {
 			want[id] = true
 		}
 	default:
@@ -143,6 +149,14 @@ func main() {
 				Distinct:   *loadDistinct,
 				Goroutines: *loadWorkers,
 				SLOms:      *loadSLO,
+			})
+		}},
+		{"E15", func(ctx context.Context, env *bench.Env) (*bench.Report, error) {
+			return bench.E15Adaptation(ctx, env, bench.AdaptOptions{
+				Stages:   *adaptStages,
+				Traffic:  *adaptTraffic,
+				Holdout:  *adaptHoldout,
+				Fraction: *adaptFraction,
 			})
 		}},
 	}

@@ -1,0 +1,117 @@
+package adapt
+
+import (
+	"context"
+	"testing"
+
+	"lqo/internal/cardest"
+	"lqo/internal/cost"
+	"lqo/internal/data"
+	"lqo/internal/datagen"
+	"lqo/internal/exec"
+	"lqo/internal/opt"
+	"lqo/internal/query"
+	"lqo/internal/stats"
+	"lqo/internal/workload"
+)
+
+// fixture is the shared live environment: a small STATS-like catalog, a
+// t0-trained histogram, an optimizer planning through a Swappable, and
+// labeled workloads drawn on demand.
+type fixture struct {
+	cat  *data.Catalog
+	cs   *stats.CatalogStats
+	ex   *exec.Executor
+	hist *cardest.HistogramEstimator
+	sw   *Swappable
+	opt  *opt.Optimizer
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	cat := datagen.StatsCEB(datagen.Config{Seed: 17, Scale: 0.05})
+	cs := stats.CollectCatalog(cat, stats.Options{Seed: 17})
+	hist := cardest.NewHistogramEstimator()
+	if err := hist.Train(&cardest.Context{Cat: cat, Stats: cs, Seed: 17}); err != nil {
+		t.Fatal(err)
+	}
+	sw := NewSwappable(hist)
+	ex := exec.New(cat)
+	return &fixture{cat: cat, cs: cs, ex: ex, hist: hist, sw: sw, opt: opt.New(cat, cost.New(cs), sw)}
+}
+
+func (f *fixture) labeled(t *testing.T, seed int64, n int) []workload.Labeled {
+	t.Helper()
+	cache := exec.NewCardCache(f.ex)
+	ls, err := workload.GenLabeled(f.cat, cache, workload.Options{Seed: seed, Count: n, MaxJoins: 3, MaxPreds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ls
+}
+
+// garbageEstimator answers a wildly wrong constant — the injected bad
+// candidate of the chaos cases.
+type garbageEstimator struct{ card float64 }
+
+func (g garbageEstimator) Estimate(q *query.Query) float64 { return g.card }
+
+func TestGatePromotesEquivalentCandidate(t *testing.T) {
+	f := newFixture(t)
+	g := NewGate(f.opt, f.ex, GateConfig{})
+	holdout := f.labeled(t, 101, 10)
+	v, err := g.Validate(context.Background(), holdout, f.hist, f.hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Promote {
+		t.Fatalf("identical candidate rejected: %+v", v)
+	}
+	if v.GMRL != 1.0 {
+		t.Fatalf("identical candidate GMRL = %v, want exactly 1 (deterministic replay)", v.GMRL)
+	}
+	if v.N != len(holdout) {
+		t.Fatalf("judged %d of %d", v.N, len(holdout))
+	}
+}
+
+func TestGateRejectsRegressingCandidate(t *testing.T) {
+	f := newFixture(t)
+	g := NewGate(f.opt, f.ex, GateConfig{})
+	holdout := f.labeled(t, 103, 10)
+	v, err := g.Validate(context.Background(), holdout, f.hist, garbageEstimator{card: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Promote {
+		t.Fatalf("garbage candidate promoted: %+v", v)
+	}
+	if v.Regressed == 0 {
+		t.Fatalf("no per-query regression recorded: %+v", v)
+	}
+	if v.Reason == "" {
+		t.Fatal("reject verdict carries no reason")
+	}
+}
+
+func TestGateRejectsTinyHoldout(t *testing.T) {
+	f := newFixture(t)
+	g := NewGate(f.opt, f.ex, GateConfig{MinHoldout: 8})
+	v, err := g.Validate(context.Background(), f.labeled(t, 105, 3), f.hist, f.hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Promote {
+		t.Fatal("promoted on a holdout below MinHoldout")
+	}
+}
+
+func TestGateHonorsContext(t *testing.T) {
+	f := newFixture(t)
+	g := NewGate(f.opt, f.ex, GateConfig{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := g.Validate(ctx, f.labeled(t, 107, 10), f.hist, f.hist); err == nil {
+		t.Fatal("cancelled context did not abort validation")
+	}
+}

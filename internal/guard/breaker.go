@@ -83,6 +83,14 @@ type Breaker struct {
 	backoff     int // current cooldown length (doubles per re-trip)
 	trips       int64
 	probing     bool // a half-open probe is in flight
+
+	// Cumulative transition counters, exposed via Snapshot so monitors
+	// (the drift detector, experiment reports) can read the breaker's
+	// history without racing its state machine.
+	probes    int64 // half-open probes admitted
+	cooldowns int64 // completed cooldowns (Open → HalfOpen transitions)
+	successes int64 // Success() outcomes recorded
+	failures  int64 // Failure() outcomes recorded
 }
 
 // NewBreaker returns a breaker with cfg (zero fields take defaults).
@@ -106,6 +114,7 @@ func (b *Breaker) Allow() bool {
 			return false // one probe at a time
 		}
 		b.probing = true
+		b.probes++
 		return true
 	default: // Open
 		if b.cooldown > 0 {
@@ -114,6 +123,8 @@ func (b *Breaker) Allow() bool {
 		}
 		b.state = HalfOpen
 		b.probing = true
+		b.cooldowns++
+		b.probes++
 		return true
 	}
 }
@@ -124,6 +135,7 @@ func (b *Breaker) Allow() bool {
 func (b *Breaker) Success() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	b.successes++
 	b.consecFails = 0
 	if b.state == HalfOpen {
 		b.state = Closed
@@ -138,6 +150,7 @@ func (b *Breaker) Success() {
 func (b *Breaker) Failure() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	b.failures++
 	b.probing = false
 	switch b.state {
 	case HalfOpen:
@@ -190,4 +203,38 @@ func (b *Breaker) Trips() int64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.trips
+}
+
+// BreakerSnapshot is a consistent point-in-time view of a breaker: its
+// current position plus the cumulative transition counters. Monitors (the
+// adapt drift detector, the E10/E15 reports) consume snapshots instead of
+// poking individual getters, so one lock acquisition yields one coherent
+// picture.
+type BreakerSnapshot struct {
+	State             BreakerState
+	ConsecFails       int   // consecutive failures while Closed
+	CooldownRemaining int   // queries left before the next half-open probe
+	Backoff           int   // current cooldown length (doubles per re-trip)
+	Trips             int64 // times the breaker opened
+	Probes            int64 // half-open probes admitted
+	Cooldowns         int64 // completed cooldowns (Open → HalfOpen)
+	Successes         int64 // Success outcomes recorded
+	Failures          int64 // Failure outcomes recorded
+}
+
+// Snapshot returns the breaker's current state and counters atomically.
+func (b *Breaker) Snapshot() BreakerSnapshot {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerSnapshot{
+		State:             b.state,
+		ConsecFails:       b.consecFails,
+		CooldownRemaining: b.cooldown,
+		Backoff:           b.backoff,
+		Trips:             b.trips,
+		Probes:            b.probes,
+		Cooldowns:         b.cooldowns,
+		Successes:         b.successes,
+		Failures:          b.failures,
+	}
 }

@@ -148,3 +148,70 @@ func TestBreakerStateStrings(t *testing.T) {
 		t.Fatal("state strings wrong")
 	}
 }
+
+func TestBreakerSnapshotCountsTransitions(t *testing.T) {
+	b := NewBreaker(BreakerConfig{FailureThreshold: 2, Cooldown: 2})
+	s := b.Snapshot()
+	if s.State != Closed || s.Trips != 0 || s.Probes != 0 || s.Failures != 0 {
+		t.Fatalf("fresh snapshot = %+v", s)
+	}
+
+	b.Allow()
+	b.Failure()
+	s = b.Snapshot()
+	if s.ConsecFails != 1 || s.Failures != 1 || s.State != Closed {
+		t.Fatalf("after one failure: %+v", s)
+	}
+
+	b.Allow()
+	b.Failure() // trip
+	s = b.Snapshot()
+	if s.State != Open || s.Trips != 1 || s.CooldownRemaining != 2 || s.Backoff != 2 {
+		t.Fatalf("after trip: %+v", s)
+	}
+	if s.ConsecFails != 0 {
+		t.Fatalf("trip must clear the streak: %+v", s)
+	}
+
+	// Cooldown counts down through bypassed queries.
+	b.Allow()
+	if got := b.Snapshot().CooldownRemaining; got != 1 {
+		t.Fatalf("cooldown remaining = %d, want 1", got)
+	}
+	b.Allow()
+
+	// Cooldown elapsed: the next Allow admits a probe and records the
+	// Open → HalfOpen transition.
+	if !b.Allow() {
+		t.Fatal("probe must be admitted after cooldown")
+	}
+	s = b.Snapshot()
+	if s.State != HalfOpen || s.Probes != 1 || s.Cooldowns != 1 {
+		t.Fatalf("after probe admission: %+v", s)
+	}
+
+	// Failed probe: re-trip with doubled backoff, failure counted.
+	b.Failure()
+	s = b.Snapshot()
+	if s.State != Open || s.Trips != 2 || s.Backoff != 4 || s.Failures != 3 {
+		t.Fatalf("after failed probe: %+v", s)
+	}
+
+	// Serve out the doubled cooldown, then a successful probe closes.
+	for i := 0; i < 4; i++ {
+		if b.Allow() {
+			t.Fatalf("allowed during doubled cooldown (i=%d)", i)
+		}
+	}
+	if !b.Allow() {
+		t.Fatal("second probe must be admitted")
+	}
+	b.Success()
+	s = b.Snapshot()
+	if s.State != Closed || s.Probes != 2 || s.Cooldowns != 2 || s.Successes != 1 {
+		t.Fatalf("after recovery: %+v", s)
+	}
+	if s.Backoff != 2 {
+		t.Fatalf("recovery must reset backoff to the base cooldown: %+v", s)
+	}
+}

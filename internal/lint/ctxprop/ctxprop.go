@@ -37,6 +37,7 @@ var libraryPkgs = []string{
 	"lqo/internal/pilotscope",
 	"lqo/internal/bench",
 	"lqo/internal/serve",
+	"lqo/internal/adapt",
 }
 
 func applies(pkgPath string) bool {

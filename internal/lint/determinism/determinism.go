@@ -32,7 +32,9 @@ var Analyzer = &analysis.Analyzer{
 }
 
 // detPkgs produce reference output: plans, EXPLAIN text, telemetry
-// folds, cost labels and metric tables.
+// folds, cost labels, metric tables — and the adaptation loop's drift
+// verdicts and gate decisions, which must replay identically from the
+// same observation sequence.
 var detPkgs = []string{
 	"lqo/internal/plan",
 	"lqo/internal/exec",
@@ -40,6 +42,7 @@ var detPkgs = []string{
 	"lqo/internal/cost",
 	"lqo/internal/costmodel",
 	"lqo/internal/metrics",
+	"lqo/internal/adapt",
 }
 
 func appliesDet(pkgPath string) bool {

@@ -3,6 +3,8 @@ package opt
 import (
 	"testing"
 
+	"lqo/internal/datagen"
+	"lqo/internal/exec"
 	"lqo/internal/query"
 )
 
@@ -91,4 +93,58 @@ func (m mapEstimator) Estimate(q *query.Query) float64 {
 		return c
 	}
 	return 1
+}
+
+// TestCardsFromPlanAfterDrift pins the stale-plan harvest contract the
+// serving layer and the adaptation loop both rely on: a plan optimized
+// BEFORE catalog drift, re-executed after the data moved under it, must
+// harvest the POST-drift truth for every sub-plan — the harvest reflects
+// what execution actually saw, never the estimates or the pre-drift world,
+// so feedback from stale plans self-corrects instead of poisoning replans.
+func TestCardsFromPlanAfterDrift(t *testing.T) {
+	f := newFixture(t)
+	q := chainQuery()
+	p, err := f.opt.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ex.Run(q, p); err != nil {
+		t.Fatal(err)
+	}
+	before := CardsFromPlan(q, p)
+
+	datagen.ApplyDrift(f.cat, datagen.DriftOptions{Seed: 41, Fraction: 0.8, ValueSkew: 2, DomainShift: 0.4})
+
+	// Same (now stale) plan tree, re-executed against the drifted catalog.
+	res, err := f.ex.Run(q, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := CardsFromPlan(q, p)
+	if len(after) != len(before) {
+		t.Fatalf("harvest shape changed across drift: %d vs %d keys", len(after), len(before))
+	}
+	if got := after[q.Key()]; got != float64(res.Count) {
+		t.Fatalf("root card = %v, drifted result count = %d", got, res.Count)
+	}
+	// Every harvested value equals the drifted truth, verified against a
+	// fresh truth cache over the drifted catalog.
+	fresh := exec.NewCardCache(f.ex)
+	changed := false
+	for _, n := range p.Nodes() {
+		sub := n.Subquery(q)
+		want, err := fresh.TrueCard(sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if after[sub.Key()] != want {
+			t.Errorf("sub-plan %v: harvested %v, drifted truth %v", n.Aliases(), after[sub.Key()], want)
+		}
+		if after[sub.Key()] != before[sub.Key()] {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("drift changed no sub-plan cardinality; scenario vacuous")
+	}
 }

@@ -134,6 +134,22 @@ func (c *PlanCache) Observe(key string, executed *plan.Node, maxQErr float64) bo
 	return false
 }
 
+// Clear drops every cached plan, returning how many were dropped. The
+// adaptation loop calls this through Server.FlushPlans when a new
+// estimator is published: every cached plan embodies the old model's
+// estimates, so keeping them would serve stale join orders indefinitely.
+// Counted as invalidations (the plans were dropped for model reasons,
+// not capacity).
+func (c *PlanCache) Clear() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := len(c.entries)
+	c.entries = make(map[string]*list.Element)
+	c.order.Init()
+	c.stats.Invalidations += int64(n)
+	return n
+}
+
 // Invalidate drops the entry for key, reporting whether it was present.
 func (c *PlanCache) Invalidate(key string) bool {
 	c.mu.Lock()

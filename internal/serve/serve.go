@@ -97,6 +97,15 @@ func (s *Stmt) NumParams() int { return s.p.NumParams() }
 // SQL returns the template rendered back to SQL with ? placeholders.
 func (s *Stmt) SQL() string { return s.p.SQL() }
 
+// ExecObserver receives every successfully executed plan tree, TrueCard
+// annotations included, right after the server harvests feedback from it.
+// The adaptation loop (internal/adapt) implements this to feed its drift
+// detector and label collector without the server importing adapt.
+// ObserveExec must not retain executed — the caller owns the tree.
+type ExecObserver interface {
+	ObserveExec(q *query.Query, executed *plan.Node)
+}
+
 // Server serves queries over one catalog with plan caching,
 // feedback-driven invalidation and per-tenant admission control. Safe for
 // concurrent use.
@@ -111,6 +120,7 @@ type Server struct {
 	mu        sync.Mutex
 	feedback  map[string]float64 // sub-query key -> harvested true card
 	coldPlans int64
+	obs       ExecObserver
 }
 
 // New assembles a server over cat using o to plan and ex to execute.
@@ -228,6 +238,12 @@ func (s *Server) run(ctx context.Context, tenant string, q *query.Query, key str
 	if cached {
 		s.cache.Observe(key, p, s.cfg.InvalidateQError)
 	}
+	s.mu.Lock()
+	obs := s.obs
+	s.mu.Unlock()
+	if obs != nil {
+		obs.ObserveExec(q, p)
+	}
 	return &Result{Count: res.Count, Value: res.Value, Latency: res.Stats.WorkUnits, Cached: cached, Plan: planDur}, nil
 }
 
@@ -243,6 +259,39 @@ func (s *Server) absorb(cards map[string]float64) {
 		}
 		s.feedback[k] = v
 	}
+}
+
+// SetObserver installs (or, with nil, removes) the execution observer.
+// The observer sees every successful execution after feedback harvest.
+func (s *Server) SetObserver(o ExecObserver) {
+	s.mu.Lock()
+	s.obs = o
+	s.mu.Unlock()
+}
+
+// FlushPlans drops every cached plan, returning how many were dropped.
+// Called on estimator hot-swap: cached plans embody the replaced model's
+// estimates and must not outlive it.
+func (s *Server) FlushPlans() int { return s.cache.Clear() }
+
+// ResetFeedback clears the harvested-cardinality store, returning how many
+// keys were dropped. Called on hot-swap and rollback: feedback harvested
+// from plans the old model chose describes sub-plans the new model may
+// never produce, and after catalog drift the stored truths themselves are
+// stale — keeping them would poison the first replans of the new regime.
+func (s *Server) ResetFeedback() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.feedback)
+	s.feedback = make(map[string]float64)
+	return n
+}
+
+// FeedbackLen reports how many sub-query truths the feedback store holds.
+func (s *Server) FeedbackLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.feedback)
 }
 
 // Invalidate drops the cached plan for the canonical key of sql,

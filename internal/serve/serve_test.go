@@ -13,6 +13,7 @@ import (
 	"lqo/internal/exec"
 	"lqo/internal/guard"
 	"lqo/internal/opt"
+	"lqo/internal/plan"
 	"lqo/internal/query"
 	"lqo/internal/stats"
 )
@@ -265,5 +266,143 @@ func TestInvalidateDropsEntry(t *testing.T) {
 	}
 	if r.Cached {
 		t.Fatal("invalidated entry served a hit")
+	}
+}
+
+// recordingObserver counts ObserveExec calls and remembers the last tree's
+// per-node TrueCard annotations.
+type recordingObserver struct {
+	mu    sync.Mutex
+	calls int
+	keys  []string
+	cards []float64
+}
+
+func (o *recordingObserver) ObserveExec(q *query.Query, executed *plan.Node) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.calls++
+	o.keys = append(o.keys, q.Key())
+	o.cards = o.cards[:0]
+	executed.Walk(func(n *plan.Node) { o.cards = append(o.cards, n.TrueCard) })
+}
+
+func TestObserverSeesEveryExecution(t *testing.T) {
+	s, _ := newFixture(t, Config{})
+	obs := &recordingObserver{}
+	s.SetObserver(obs)
+	sql := "SELECT COUNT(*) FROM posts, users WHERE posts.owner_user_id = users.id AND posts.score > 5;"
+	r1, err := s.Query(context.Background(), "a", sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Query(context.Background(), "a", sql); err != nil {
+		t.Fatal(err)
+	}
+	if obs.calls != 2 {
+		t.Fatalf("observer saw %d executions, want 2 (cold + cached)", obs.calls)
+	}
+	if obs.keys[0] != obs.keys[1] {
+		t.Fatal("observer saw different query keys for the same SQL")
+	}
+	// The observed tree carries execution truth: the root's TrueCard is the
+	// result cardinality (pre-order walk visits the root first).
+	if obs.cards[0] != float64(r1.Count) {
+		t.Fatalf("observed root TrueCard %g, want result count %d", obs.cards[0], r1.Count)
+	}
+	// Removing the observer stops deliveries.
+	s.SetObserver(nil)
+	if _, err := s.Query(context.Background(), "a", sql); err != nil {
+		t.Fatal(err)
+	}
+	if obs.calls != 2 {
+		t.Fatal("removed observer still received executions")
+	}
+}
+
+func TestFlushPlansAndResetFeedback(t *testing.T) {
+	s, _ := newFixture(t, Config{})
+	for _, sql := range []string{
+		"SELECT COUNT(*) FROM badges WHERE badges.class = 1;",
+		"SELECT COUNT(*) FROM posts WHERE posts.score > 5;",
+	} {
+		if _, err := s.Query(context.Background(), "a", sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.CacheLen() != 2 {
+		t.Fatalf("CacheLen = %d, want 2", s.CacheLen())
+	}
+	if s.FeedbackLen() == 0 {
+		t.Fatal("no feedback harvested")
+	}
+	if n := s.FlushPlans(); n != 2 {
+		t.Fatalf("FlushPlans dropped %d plans, want 2", n)
+	}
+	if s.CacheLen() != 0 {
+		t.Fatalf("CacheLen = %d after flush", s.CacheLen())
+	}
+	if n := s.ResetFeedback(); n == 0 {
+		t.Fatal("ResetFeedback dropped nothing")
+	}
+	if s.FeedbackLen() != 0 {
+		t.Fatalf("FeedbackLen = %d after reset", s.FeedbackLen())
+	}
+	// The server keeps serving: next request replans cold.
+	r, err := s.Query(context.Background(), "a", "SELECT COUNT(*) FROM badges WHERE badges.class = 1;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cached {
+		t.Fatal("flushed cache served a hit")
+	}
+}
+
+// TestDriftedCatalogFeedbackDoesNotPoisonReplans drives the stale-plan
+// scenario end to end: a plan cached before catalog drift executes against
+// the grown data, the q-error drift check evicts it, and the replan must
+// use POST-drift truth — the feedback store's always-update-existing-keys
+// rule means stale pre-drift truths are overwritten by the very execution
+// that triggers invalidation, so the replanned entry stabilizes instead of
+// thrashing on poisoned feedback.
+func TestDriftedCatalogFeedbackDoesNotPoisonReplans(t *testing.T) {
+	s, cat := newFixture(t, Config{InvalidateQError: 2})
+	sql := "SELECT COUNT(*) FROM posts, comments WHERE comments.post_id = posts.id AND posts.views > 2000;"
+	pre, err := s.Query(context.Background(), "a", sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Catalog drifts under the server: growth plus both value axes.
+	datagen.ApplyDrift(cat, datagen.DriftOptions{Seed: 99, Fraction: 0.8, ValueSkew: 2, DomainShift: 0.5})
+
+	// The cached (now stale) plan still executes correctly against the
+	// drifted data — plans are logical recipes, not materialized state.
+	post1, err := s.Query(context.Background(), "a", sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !post1.Cached {
+		t.Fatal("stale plan should still be served from cache")
+	}
+	if post1.Count == pre.Count {
+		t.Skip("drift did not change this query's result; scenario vacuous")
+	}
+
+	// Replans until the entry stabilizes; every replan must return the
+	// drifted truth (fresh feedback), never the pre-drift count.
+	var last *Result
+	for i := 0; i < 6; i++ {
+		r, err := s.Query(context.Background(), "a", sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Count != post1.Count {
+			t.Fatalf("replan %d returned %d, drifted truth is %d (pre-drift was %d): feedback poisoned the replan", i, r.Count, post1.Count, pre.Count)
+		}
+		last = r
+	}
+	if !last.Cached {
+		t.Fatal("entry never stabilized after drift: feedback-informed replan keeps invalidating")
 	}
 }
