@@ -7,10 +7,11 @@
 #   make fuzz    — short fuzz smoke over the SQL parser and key encoding
 #   make verify  — what CI runs: build + vet + lint + tests + race + fuzz
 #                  smoke, then staticcheck & govulncheck (skipped offline)
-#   make bench   — regenerate every experiment table (E1..E10, E13..E15)
+#   make bench   — regenerate every experiment table (E1..E10, E13..E16)
 #   make bench-smoke — compile-and-run every Go benchmark once (no timing)
 #   make load-smoke  — E14 sustained-load smoke through the serving layer
 #   make drift-smoke — E15 closed-loop adaptation under staged drift
+#   make shard-smoke — E16 sharded scatter-gather vs the unsharded reference
 #   make chaos   — E10 only: guardrail runtime under fault injection
 
 GO ?= go
@@ -25,7 +26,7 @@ GOVULNCHECK_VERSION ?= v1.1.3
 
 FUZZTIME ?= 10s
 
-.PHONY: build test vet lint staticcheck govulncheck race fuzz verify bench bench-smoke load-smoke drift-smoke chaos
+.PHONY: build test vet lint staticcheck govulncheck race fuzz verify bench bench-smoke load-smoke drift-smoke shard-smoke chaos
 
 build:
 	$(GO) build ./...
@@ -86,6 +87,12 @@ load-smoke:
 # adaptive arm held its GMRL while the frozen baseline degraded.
 drift-smoke:
 	$(GO) run ./cmd/lqo-bench -exp E15 -adapt-stages 2
+
+# A short E16 run: the shard-scans rewrite plus scatter-gather execution
+# at fan-outs 1/2/4. Fails loudly if any sharded run's Count, Value or
+# charged WorkUnits diverge from the serial ReferenceRun.
+shard-smoke:
+	$(GO) run ./cmd/lqo-bench -exp E16 -shards 1,2,4 -repeat 2
 
 chaos:
 	$(GO) run ./cmd/lqo-bench -chaos

@@ -1,5 +1,5 @@
 // Command lqo-bench regenerates the workbench's experiment tables E1–E10
-// and E13–E15 (see DESIGN.md for the experiment index and EXPERIMENTS.md
+// and E13–E16 (see DESIGN.md for the experiment index and EXPERIMENTS.md
 // for recorded results).
 //
 // Usage:
@@ -11,6 +11,7 @@
 //	lqo-bench -exp E13                 # vectorized kernels vs scalar filter path
 //	lqo-bench -exp E14 -load-qps 500   # open-loop sustained load through the serving layer
 //	lqo-bench -exp E15 -adapt-stages 4 # closed-loop adaptation under staged drift
+//	lqo-bench -exp E16 -shards 1,2,4   # sharded scatter-gather vs unsharded reference
 //	lqo-bench -exp E5 -novec           # any experiment with vectorization disabled
 //	lqo-bench -chaos                   # E10 guardrails under fault injection
 //	lqo-bench -chaos -chaos-rates 0,0.25 -chaos-timeout 2ms
@@ -50,6 +51,8 @@ func main() {
 		adaptHoldout  = flag.Int("adapt-holdout", 12, "E15 gate holdout size per stage")
 		adaptFraction = flag.Float64("adapt-fraction", 0.6, "E15 appended-row fraction per drift stage")
 
+		shardsFlag = flag.String("shards", "1,2,4", "E16 comma-separated shard fan-outs (1 = unsharded baseline)")
+
 		chaosFlag    = flag.Bool("chaos", false, "shorthand for -exp E10: guardrail runtime under fault injection")
 		chaosRates   = flag.String("chaos-rates", "0,0.01,0.10", "E10 comma-separated fault rates in [0,1]")
 		chaosTimeout = flag.Duration("chaos-timeout", 5*time.Millisecond, "E10 per-decision budget for the learned planner")
@@ -66,7 +69,7 @@ func main() {
 	case *chaosFlag:
 		want["E10"] = true
 	case *expFlag == "all":
-		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E13", "E14", "E15"} {
+		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E13", "E14", "E15", "E16"} {
 			want[id] = true
 		}
 	default:
@@ -158,6 +161,21 @@ func main() {
 				Holdout:  *adaptHoldout,
 				Fraction: *adaptFraction,
 			})
+		}},
+		{"E16", func(ctx context.Context, env *bench.Env) (*bench.Report, error) {
+			var counts []int
+			for _, s := range strings.Split(*shardsFlag, ",") {
+				s = strings.TrimSpace(s)
+				if s == "" {
+					continue
+				}
+				var v int
+				if _, err := fmt.Sscanf(s, "%d", &v); err != nil || v < 1 {
+					return nil, fmt.Errorf("bad -shards entry %q", s)
+				}
+				counts = append(counts, v)
+			}
+			return bench.E16Sharding(ctx, env, counts, *repeatFlag)
 		}},
 	}
 

@@ -23,7 +23,6 @@ import (
 	"lqo/internal/data"
 	"lqo/internal/datagen"
 	"lqo/internal/pilotscope"
-	"lqo/internal/sqlx"
 	"lqo/internal/workload"
 )
 
@@ -151,17 +150,12 @@ func dispatch(console *pilotscope.Console, eng *pilotscope.Engine, cat *data.Cat
 		fmt.Printf("result: %v (%d rows aggregated, %.0f work units)\n", res.Value, res.Count, res.Latency)
 	case strings.HasPrefix(strings.ToUpper(line), "EXPLAIN "):
 		sql := line[len("EXPLAIN "):]
-		q, err := sqlx.Parse(sql, cat)
+		rendered, err := eng.Explain(context.Background(), &pilotscope.Session{}, sql)
 		if err != nil {
 			fmt.Println("error:", err)
 			break
 		}
-		p, err := eng.Pull(context.Background(), &pilotscope.Session{Query: q}, pilotscope.PullPlan, q)
-		if err != nil {
-			fmt.Println("error:", err)
-			break
-		}
-		fmt.Print(p)
+		fmt.Print(rendered)
 	default:
 		res, err := console.ExecuteSQL(context.Background(), line)
 		if err != nil {

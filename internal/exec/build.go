@@ -13,6 +13,23 @@ import (
 
 // buildOperator constructs the operator tree for the plan rooted at n.
 func (e *Executor) buildOperator(q *query.Query, n *plan.Node) (Operator, error) {
+	if n.Op == plan.Merge {
+		if len(n.Shards) == 0 {
+			return nil, fmt.Errorf("exec: Merge node for %s has no shards", n.Alias)
+		}
+		backend := e.Backend
+		if backend == nil {
+			backend = NewLocalBackend(e.Cat, e.NoVec)
+		}
+		exs := make([]*exchangeOp, len(n.Shards))
+		for i, s := range n.Shards {
+			if s.Op != plan.Exchange || s.Left == nil || s.Left.Op != plan.SeqScan || !s.Left.IsLeaf() {
+				return nil, fmt.Errorf("exec: Merge shard %d is not an Exchange over a SeqScan leaf", i)
+			}
+			exs[i] = &exchangeOp{backend: backend, q: q, node: s}
+		}
+		return &mergeOp{e: e, q: q, node: n, exs: exs}, nil
+	}
 	if n.IsLeaf() {
 		switch n.Op {
 		case plan.SeqScan:

@@ -97,6 +97,9 @@ type Executor struct {
 	// either way; the flag exists for A/B benchmarking (lqo-bench -novec)
 	// and as an escape hatch.
 	NoVec bool
+	// Backend runs the shard subplans of Merge nodes (shard.go). Nil means
+	// an in-process LocalBackend over Cat, created per plan build.
+	Backend ShardBackend
 }
 
 // New returns an executor over cat.

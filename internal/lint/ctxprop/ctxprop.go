@@ -32,6 +32,7 @@ var Analyzer = &analysis.Analyzer{
 // libraryPkgs are the context-aware layers (PR 2 plumbed them end to
 // end); everything reachable from a query deadline must stay reachable.
 var libraryPkgs = []string{
+	"lqo/internal/plan",
 	"lqo/internal/exec",
 	"lqo/internal/opt",
 	"lqo/internal/pilotscope",

@@ -1,0 +1,179 @@
+// Selinger dynamic programming: exhaustive bushy (or left-deep) join
+// enumeration over connected alias subsets, memoized by bitmask.
+package opt
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/bits"
+	"sync/atomic"
+
+	"lqo/internal/plan"
+	"lqo/internal/query"
+)
+
+// memoEntry is the best plan found for one alias subset.
+type memoEntry struct {
+	node *plan.Node
+	cost float64
+	card float64
+}
+
+type dpState struct {
+	q       *query.Query
+	g       *query.JoinGraph
+	aliases []string
+	memo    []*memoEntry // indexed by bitmask
+	cards   []float64    // estimated cardinality per bitmask (-1 unset)
+	plans   int64        // plan alternatives costed by this call
+}
+
+func (o *Optimizer) optimizeDP(ctx context.Context, q *query.Query) (*plan.Node, error) {
+	n := len(q.Refs)
+	st := &dpState{
+		q:       q,
+		g:       query.NewJoinGraph(q),
+		aliases: q.Aliases(),
+		memo:    make([]*memoEntry, 1<<n),
+		cards:   make([]float64, 1<<n),
+	}
+	for i := range st.cards {
+		st.cards[i] = -1
+	}
+	defer func() { atomic.StoreInt64(&o.plansConsidered, st.plans) }()
+
+	// Base: best scan per alias.
+	for i, a := range st.aliases {
+		e, err := o.bestScan(st, i, a)
+		if err != nil {
+			return nil, err
+		}
+		st.memo[1<<i] = e
+	}
+
+	full := (1 << n) - 1
+	for mask := 1; mask <= full; mask++ {
+		if mask%64 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		if st.memo[mask] != nil || bits.OnesCount(uint(mask)) < 2 {
+			continue
+		}
+		best := o.bestJoinForMask(st, mask)
+		st.memo[mask] = best
+	}
+	e := st.memo[full]
+	if e == nil || e.node == nil {
+		return nil, fmt.Errorf("opt: no plan found for %s", q.SQL())
+	}
+	return e.node, nil
+}
+
+// bestJoinForMask enumerates ordered partitions (left, right) of mask and
+// keeps the cheapest feasible join.
+func (o *Optimizer) bestJoinForMask(st *dpState, mask int) *memoEntry {
+	bestCost := math.Inf(1)
+	var bestNode *plan.Node
+	card := o.maskCard(st, mask)
+	// Iterate all proper non-empty submasks.
+	for sub := (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask {
+		other := mask ^ sub
+		if o.LeftDeepOnly && bits.OnesCount(uint(other)) != 1 {
+			continue // right operand must be a base relation
+		}
+		le, re := st.memo[sub], st.memo[other]
+		if le == nil || re == nil || le.node == nil || re.node == nil {
+			continue
+		}
+		conds := st.g.JoinsBetween(o.maskSet(st, sub), o.maskSet(st, other))
+		var ops []plan.Op
+		if len(conds) == 0 {
+			// Cross product: nested loop only, and only if unavoidable
+			// (the subset pair is disconnected in the join graph).
+			ops = []plan.Op{plan.NestedLoopJoin}
+		} else {
+			for _, op := range []plan.Op{plan.HashJoin, plan.MergeJoin, plan.NestedLoopJoin} {
+				if o.Hints.AllowsJoin(op) {
+					ops = append(ops, op)
+				}
+			}
+			if len(ops) == 0 {
+				ops = []plan.Op{plan.HashJoin} // hints must not make queries unplannable
+			}
+		}
+		for _, op := range ops {
+			if len(conds) == 0 && op != plan.NestedLoopJoin {
+				continue
+			}
+			st.plans++
+			jc := o.Cost.JoinCost(op, le.card, re.card, card)
+			total := le.cost + re.cost + jc
+			if total < bestCost {
+				node := plan.NewJoin(op, le.node, re.node, conds)
+				node.EstCard = card
+				node.EstCost = total
+				bestCost = total
+				bestNode = node
+			}
+		}
+	}
+	if bestNode == nil {
+		return &memoEntry{}
+	}
+	return &memoEntry{node: bestNode, cost: bestCost, card: card}
+}
+
+func (o *Optimizer) maskSet(st *dpState, mask int) map[string]bool {
+	s := make(map[string]bool)
+	for i, a := range st.aliases {
+		if mask&(1<<i) != 0 {
+			s[a] = true
+		}
+	}
+	return s
+}
+
+func (o *Optimizer) maskCard(st *dpState, mask int) float64 {
+	if st.cards[mask] >= 0 {
+		return st.cards[mask]
+	}
+	c := o.estimate(st.q.Subquery(o.maskSet(st, mask)))
+	st.cards[mask] = c
+	return c
+}
+
+// bestScan returns the cheapest allowed scan for the alias at index i.
+func (o *Optimizer) bestScan(st *dpState, i int, alias string) (*memoEntry, error) {
+	preds := st.q.PredsOn(alias)
+	table := st.q.TableOf(alias)
+	card := o.maskCard(st, 1<<i)
+
+	bestCost := math.Inf(1)
+	var bestNode *plan.Node
+	consider := func(op plan.Op, inRows float64, npreds int) {
+		st.plans++
+		c := o.Cost.ScanCost(op, inRows, card, npreds)
+		if c < bestCost {
+			node := plan.NewScan(op, alias, table, preds)
+			node.EstCard = card
+			node.EstCost = c
+			bestCost = c
+			bestNode = node
+		}
+	}
+	hasIndexEq := o.indexEqColumn(table, preds) != ""
+	if o.Hints.AllowsScan(plan.SeqScan) || !hasIndexEq {
+		consider(plan.SeqScan, o.Cost.TableRows(table), len(preds))
+	}
+	if hasIndexEq && o.Hints.AllowsScan(plan.IndexScan) {
+		col := o.indexEqColumn(table, preds)
+		consider(plan.IndexScan, o.Cost.IndexFetchRows(table, col), len(preds)-1)
+	}
+	if bestNode == nil {
+		return nil, fmt.Errorf("opt: no scan allowed for %s", alias)
+	}
+	return &memoEntry{node: bestNode, cost: bestCost, card: card}, nil
+}

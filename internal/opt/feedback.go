@@ -17,7 +17,10 @@ import (
 // genuinely empty intermediate, which is itself valuable feedback.
 func CardsFromPlan(q *query.Query, p *plan.Node) map[string]float64 {
 	cards := make(map[string]float64)
-	p.Walk(func(n *plan.Node) {
+	// Logical walk: a Merge node stands in for the scan it sharded, and
+	// its shard internals carry per-partition counts that must never
+	// masquerade as the whole scan's truth under the same sub-query key.
+	p.WalkLogical(func(n *plan.Node) {
 		cards[n.Subquery(q).Key()] = n.TrueCard
 	})
 	return cards

@@ -1,0 +1,222 @@
+// Greedy join ordering for queries past the DP size bound, plus the
+// learned-policy evaluation paths: PlanFromOrder (left-deep plan from an
+// alias order) and CandidatePlans (Bao-style hint-set candidates).
+package opt
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+
+	"lqo/internal/plan"
+	"lqo/internal/query"
+)
+
+// OptimizeGreedy builds a plan by repeatedly joining the pair of
+// sub-plans with the lowest resulting cost (connected pairs only, unless
+// forced). It scales to arbitrary query sizes.
+func (o *Optimizer) OptimizeGreedy(q *query.Query) (*plan.Node, error) {
+	//lqolint:ignore ctxprop compatibility shim; OptimizeGreedyCtx is the context-aware entry point and this wrapper exists for callers with no deadline
+	return o.OptimizeGreedyCtx(context.Background(), q)
+}
+
+// OptimizeGreedyCtx is OptimizeGreedy under a context, checked once per
+// merge round. It returns raw enumeration output — no rewrite passes
+// (OptimizeCtx layers the pipeline on top).
+func (o *Optimizer) OptimizeGreedyCtx(ctx context.Context, q *query.Query) (*plan.Node, error) {
+	if len(q.Refs) == 0 {
+		return nil, fmt.Errorf("opt: query has no tables")
+	}
+	var plans int64
+	defer func() { atomic.StoreInt64(&o.plansConsidered, plans) }()
+	g := query.NewJoinGraph(q)
+	var parts []*part
+	for _, a := range q.Aliases() {
+		e, err := o.scanFor(q, a)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, &part{node: e, cost: e.EstCost, card: e.EstCard})
+	}
+	for len(parts) > 1 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		bestI, bestJ := -1, -1
+		bestCost := math.Inf(1)
+		var bestNode *plan.Node
+		var bestCard float64
+		for i := 0; i < len(parts); i++ {
+			for j := 0; j < len(parts); j++ {
+				if i == j {
+					continue
+				}
+				conds := g.JoinsBetween(parts[i].node.AliasSet(), parts[j].node.AliasSet())
+				if len(conds) == 0 && connectable(g, parts) {
+					continue // avoid cross joins while connected pairs remain
+				}
+				set := parts[i].node.AliasSet()
+				//lqolint:ignore determinism order-insensitive set union; every iteration order yields the same alias set
+				for a := range parts[j].node.AliasSet() {
+					set[a] = true
+				}
+				card := o.estimate(q.Subquery(set))
+				for _, op := range []plan.Op{plan.HashJoin, plan.MergeJoin, plan.NestedLoopJoin} {
+					if len(conds) == 0 && op != plan.NestedLoopJoin {
+						continue
+					}
+					if len(conds) > 0 && !o.Hints.AllowsJoin(op) {
+						continue
+					}
+					plans++
+					total := parts[i].cost + parts[j].cost + o.Cost.JoinCost(op, parts[i].card, parts[j].card, card)
+					if total < bestCost {
+						bestCost = total
+						bestI, bestJ = i, j
+						bestNode = plan.NewJoin(op, parts[i].node, parts[j].node, conds)
+						bestNode.EstCard = card
+						bestNode.EstCost = total
+						bestCard = card
+					}
+				}
+			}
+		}
+		if bestNode == nil {
+			return nil, fmt.Errorf("opt: greedy failed to combine partitions")
+		}
+		merged := &part{node: bestNode, cost: bestCost, card: bestCard}
+		next := parts[:0]
+		for k, p := range parts {
+			if k != bestI && k != bestJ {
+				next = append(next, p)
+			}
+		}
+		parts = append(next, merged)
+	}
+	return parts[0].node, nil
+}
+
+func connectable(g *query.JoinGraph, parts []*part) bool {
+	for i := 0; i < len(parts); i++ {
+		for j := i + 1; j < len(parts); j++ {
+			if len(g.JoinsBetween(parts[i].node.AliasSet(), parts[j].node.AliasSet())) > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// part is a greedy-optimizer work item: a sub-plan with its running cost
+// and estimated cardinality.
+type part struct {
+	node *plan.Node
+	cost float64
+	card float64
+}
+
+// scanFor builds the cheapest allowed scan node for alias outside DP.
+func (o *Optimizer) scanFor(q *query.Query, alias string) (*plan.Node, error) {
+	preds := q.PredsOn(alias)
+	table := q.TableOf(alias)
+	card := o.estimate(q.Subquery(map[string]bool{alias: true}))
+
+	bestCost := math.Inf(1)
+	var best *plan.Node
+	consider := func(op plan.Op, inRows float64, npreds int) {
+		c := o.Cost.ScanCost(op, inRows, card, npreds)
+		if c < bestCost {
+			n := plan.NewScan(op, alias, table, preds)
+			n.EstCard = card
+			n.EstCost = c
+			bestCost = c
+			best = n
+		}
+	}
+	hasIndexEq := o.indexEqColumn(table, preds) != ""
+	if o.Hints.AllowsScan(plan.SeqScan) || !hasIndexEq {
+		consider(plan.SeqScan, o.Cost.TableRows(table), len(preds))
+	}
+	if hasIndexEq && o.Hints.AllowsScan(plan.IndexScan) {
+		col := o.indexEqColumn(table, preds)
+		consider(plan.IndexScan, o.Cost.IndexFetchRows(table, col), len(preds)-1)
+	}
+	if best == nil {
+		return nil, fmt.Errorf("opt: no scan allowed for %s", alias)
+	}
+	return best, nil
+}
+
+// PlanFromOrder builds the best left-deep plan following the given alias
+// join order, choosing scan and join operators by cost under the hint set.
+// It is the evaluation path for learned join-order policies.
+func (o *Optimizer) PlanFromOrder(q *query.Query, order []string) (*plan.Node, error) {
+	if len(order) != len(q.Refs) {
+		return nil, fmt.Errorf("opt: order covers %d of %d aliases", len(order), len(q.Refs))
+	}
+	g := query.NewJoinGraph(q)
+	root, err := o.scanFor(q, order[0])
+	if err != nil {
+		return nil, err
+	}
+	set := map[string]bool{order[0]: true}
+	cost0 := root.EstCost
+	for _, a := range order[1:] {
+		right, err := o.scanFor(q, a)
+		if err != nil {
+			return nil, err
+		}
+		set[a] = true
+		conds := g.JoinsBetween(root.AliasSet(), map[string]bool{a: true})
+		card := o.estimate(q.Subquery(set))
+		bestCost := math.Inf(1)
+		var bestNode *plan.Node
+		for _, op := range []plan.Op{plan.HashJoin, plan.MergeJoin, plan.NestedLoopJoin} {
+			if len(conds) == 0 && op != plan.NestedLoopJoin {
+				continue
+			}
+			if len(conds) > 0 && !o.Hints.AllowsJoin(op) {
+				continue
+			}
+			total := cost0 + right.EstCost + o.Cost.JoinCost(op, root.EstCard, right.EstCard, card)
+			if total < bestCost {
+				n := plan.NewJoin(op, root, right, conds)
+				n.EstCard = card
+				n.EstCost = total
+				bestCost = total
+				bestNode = n
+			}
+		}
+		if bestNode == nil {
+			return nil, fmt.Errorf("opt: no join operator allowed for order step %s", a)
+		}
+		root = bestNode
+		cost0 = bestCost
+	}
+	return root, nil
+}
+
+// CandidatePlans optimizes q once per hint set and returns the distinct
+// resulting plans (by fingerprint) — the Bao-style candidate generator.
+func (o *Optimizer) CandidatePlans(q *query.Query, hints []plan.HintSet) ([]*plan.Node, error) {
+	seen := map[string]bool{}
+	var out []*plan.Node
+	for _, h := range hints {
+		if !h.Valid() {
+			continue
+		}
+		p, err := o.WithHints(h).Optimize(q)
+		if err != nil {
+			return nil, err
+		}
+		fp := p.Fingerprint()
+		if !seen[fp] {
+			seen[fp] = true
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].EstCost < out[j].EstCost })
+	return out, nil
+}

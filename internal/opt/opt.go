@@ -1,15 +1,18 @@
 // Package opt implements the traditional volcano-style optimizer of the
 // workbench engine: Selinger dynamic programming over connected alias
-// subsets with a greedy fallback for large queries, operator selection
-// under Bao-style hint sets, and pluggable cardinality estimation — the
-// injection points every learned method in the survey steers through.
+// subsets with a greedy fallback for large queries (enum.go, greedy.go),
+// operator selection under Bao-style hint sets, and pluggable cardinality
+// estimation — the injection points every learned method in the survey
+// steers through. Since the pass-framework refactor, planning is two
+// stages: join enumeration produces the initial tree, then a
+// plan.PassPipeline of pure rewrite passes (pushdown, folding, join-key
+// dedup, re-annotation, optional scan sharding) runs it to fixpoint.
 package opt
 
 import (
 	"context"
 	"fmt"
 	"math"
-	"sort"
 	"sync/atomic"
 
 	"lqo/internal/cost"
@@ -41,6 +44,17 @@ type Optimizer struct {
 	// space); the default explores bushy plans. E8 quantifies the
 	// difference in plan quality and enumeration effort.
 	LeftDeepOnly bool
+
+	// Shards is the scatter-gather fan-out handed to the default pass
+	// pipeline: at 2 or more, the ShardScans pass splits SeqScan leaves
+	// into that many Exchange subplans under a Merge node. 0 or 1 plans
+	// single-node trees (the default).
+	Shards int
+
+	// Passes overrides the rewrite pipeline run after join enumeration.
+	// Nil means plan.DefaultPipeline(Shards). An explicit empty pipeline
+	// (&plan.PassPipeline{}) disables rewrites entirely.
+	Passes *plan.PassPipeline
 
 	// plansConsidered holds the plan-alternative count of the most
 	// recently completed Optimize/OptimizeGreedy call. Each call counts
@@ -83,9 +97,18 @@ func (o *Optimizer) maxDP() int {
 	return 12
 }
 
+// pipeline returns the rewrite pipeline to run after enumeration.
+func (o *Optimizer) pipeline() *plan.PassPipeline {
+	if o.Passes != nil {
+		return o.Passes
+	}
+	return plan.DefaultPipeline(o.Shards)
+}
+
 // Optimize returns the minimum-estimated-cost plan for q: exhaustive
-// bushy DP when the query is small enough, greedy otherwise. Plan nodes
-// are annotated with EstCard and EstCost.
+// bushy DP when the query is small enough, greedy otherwise, followed by
+// the rewrite-pass pipeline. Plan nodes are annotated with EstCard and
+// EstCost.
 func (o *Optimizer) Optimize(q *query.Query) (*plan.Node, error) {
 	//lqolint:ignore ctxprop compatibility shim; OptimizeCtx is the context-aware entry point and this wrapper exists for callers with no deadline
 	return o.OptimizeCtx(context.Background(), q)
@@ -96,6 +119,27 @@ func (o *Optimizer) Optimize(q *query.Query) (*plan.Node, error) {
 // optimize+execute also bounds enumeration time — a pathological
 // estimator cannot stall planning indefinitely.
 func (o *Optimizer) OptimizeCtx(ctx context.Context, q *query.Query) (*plan.Node, error) {
+	p, _, err := o.OptimizeTraceCtx(ctx, q)
+	return p, err
+}
+
+// OptimizeTraceCtx is OptimizeCtx that also returns the rewrite-pass
+// trace — the provenance EXPLAIN renders. The trace is per-call state
+// (never stored on the Optimizer), so concurrent planning through a
+// shared optimizer stays race-free.
+func (o *Optimizer) OptimizeTraceCtx(ctx context.Context, q *query.Query) (*plan.Node, []plan.PassTrace, error) {
+	root, err := o.enumerate(ctx, q)
+	if err != nil {
+		return nil, nil, err
+	}
+	pc := &plan.PassContext{Query: q, Estimate: o.estimate, Shards: o.Shards}
+	return o.pipeline().Run(ctx, root, pc)
+}
+
+// enumerate runs join enumeration only — DP or greedy by query size — with
+// no rewrite passes. This is the pre-refactor Optimize body; tests pin
+// pipeline output fingerprint-equal to it when sharding is off.
+func (o *Optimizer) enumerate(ctx context.Context, q *query.Query) (*plan.Node, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -108,143 +152,12 @@ func (o *Optimizer) OptimizeCtx(ctx context.Context, q *query.Query) (*plan.Node
 	return o.OptimizeGreedyCtx(ctx, q)
 }
 
-// memoEntry is the best plan found for one alias subset.
-type memoEntry struct {
-	node *plan.Node
-	cost float64
-	card float64
-}
-
-type dpState struct {
-	q       *query.Query
-	g       *query.JoinGraph
-	aliases []string
-	memo    []*memoEntry // indexed by bitmask
-	cards   []float64    // estimated cardinality per bitmask (-1 unset)
-	plans   int64        // plan alternatives costed by this call
-}
-
-func (o *Optimizer) optimizeDP(ctx context.Context, q *query.Query) (*plan.Node, error) {
-	n := len(q.Refs)
-	st := &dpState{
-		q:       q,
-		g:       query.NewJoinGraph(q),
-		aliases: q.Aliases(),
-		memo:    make([]*memoEntry, 1<<n),
-		cards:   make([]float64, 1<<n),
-	}
-	for i := range st.cards {
-		st.cards[i] = -1
-	}
-	defer func() { atomic.StoreInt64(&o.plansConsidered, st.plans) }()
-
-	// Base: best scan per alias.
-	for i, a := range st.aliases {
-		e, err := o.bestScan(st, i, a)
-		if err != nil {
-			return nil, err
-		}
-		st.memo[1<<i] = e
-	}
-
-	full := (1 << n) - 1
-	for mask := 1; mask <= full; mask++ {
-		if mask%64 == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-		}
-		if st.memo[mask] != nil || popcount(mask) < 2 {
-			continue
-		}
-		best := o.bestJoinForMask(st, mask)
-		st.memo[mask] = best
-	}
-	e := st.memo[full]
-	if e == nil || e.node == nil {
-		return nil, fmt.Errorf("opt: no plan found for %s", q.SQL())
-	}
-	return e.node, nil
-}
-
-// bestJoinForMask enumerates ordered partitions (left, right) of mask and
-// keeps the cheapest feasible join.
-func (o *Optimizer) bestJoinForMask(st *dpState, mask int) *memoEntry {
-	bestCost := math.Inf(1)
-	var bestNode *plan.Node
-	card := o.maskCard(st, mask)
-	// Iterate all proper non-empty submasks.
-	for sub := (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask {
-		other := mask ^ sub
-		if o.LeftDeepOnly && popcount(other) != 1 {
-			continue // right operand must be a base relation
-		}
-		le, re := st.memo[sub], st.memo[other]
-		if le == nil || re == nil || le.node == nil || re.node == nil {
-			continue
-		}
-		conds := st.g.JoinsBetween(o.maskSet(st, sub), o.maskSet(st, other))
-		var ops []plan.Op
-		if len(conds) == 0 {
-			// Cross product: nested loop only, and only if unavoidable
-			// (the subset pair is disconnected in the join graph).
-			ops = []plan.Op{plan.NestedLoopJoin}
-		} else {
-			for _, op := range []plan.Op{plan.HashJoin, plan.MergeJoin, plan.NestedLoopJoin} {
-				if o.Hints.AllowsJoin(op) {
-					ops = append(ops, op)
-				}
-			}
-			if len(ops) == 0 {
-				ops = []plan.Op{plan.HashJoin} // hints must not make queries unplannable
-			}
-		}
-		for _, op := range ops {
-			if len(conds) == 0 && op != plan.NestedLoopJoin {
-				continue
-			}
-			st.plans++
-			jc := o.Cost.JoinCost(op, le.card, re.card, card)
-			total := le.cost + re.cost + jc
-			if total < bestCost {
-				node := plan.NewJoin(op, le.node, re.node, conds)
-				node.EstCard = card
-				node.EstCost = total
-				bestCost = total
-				bestNode = node
-			}
-		}
-	}
-	if bestNode == nil {
-		return &memoEntry{}
-	}
-	return &memoEntry{node: bestNode, cost: bestCost, card: card}
-}
-
-func (o *Optimizer) maskSet(st *dpState, mask int) map[string]bool {
-	s := make(map[string]bool)
-	for i, a := range st.aliases {
-		if mask&(1<<i) != 0 {
-			s[a] = true
-		}
-	}
-	return s
-}
-
-func (o *Optimizer) maskCard(st *dpState, mask int) float64 {
-	if st.cards[mask] >= 0 {
-		return st.cards[mask]
-	}
-	c := o.estimate(st.q.Subquery(o.maskSet(st, mask)))
-	st.cards[mask] = c
-	return c
-}
-
 // estimate queries the (possibly learned, possibly injected) estimator
 // and sanitizes the answer before it can reach the cost model: NaN and
 // negative estimates become 0, +Inf and absurd magnitudes cap at
 // metrics.MaxCard. A broken estimator can mis-rank plans but can never
-// poison cost arithmetic with non-finite values.
+// poison cost arithmetic with non-finite values. The same method backs
+// plan.PassContext.Estimate, which is why passes must not re-clamp.
 func (o *Optimizer) estimate(q *query.Query) float64 {
 	c := o.Est.Estimate(q)
 	//lqolint:ignore cardclamp this IS the sanitizer the rule mandates; it must inspect the raw estimate to clamp it
@@ -256,39 +169,6 @@ func (o *Optimizer) estimate(q *query.Query) float64 {
 		return metrics.MaxCard
 	}
 	return c
-}
-
-// bestScan returns the cheapest allowed scan for the alias at index i.
-func (o *Optimizer) bestScan(st *dpState, i int, alias string) (*memoEntry, error) {
-	preds := st.q.PredsOn(alias)
-	table := st.q.TableOf(alias)
-	card := o.maskCard(st, 1<<i)
-
-	bestCost := math.Inf(1)
-	var bestNode *plan.Node
-	consider := func(op plan.Op, inRows float64, npreds int) {
-		st.plans++
-		c := o.Cost.ScanCost(op, inRows, card, npreds)
-		if c < bestCost {
-			node := plan.NewScan(op, alias, table, preds)
-			node.EstCard = card
-			node.EstCost = c
-			bestCost = c
-			bestNode = node
-		}
-	}
-	hasIndexEq := o.indexEqColumn(table, preds) != ""
-	if o.Hints.AllowsScan(plan.SeqScan) || !hasIndexEq {
-		consider(plan.SeqScan, o.Cost.TableRows(table), len(preds))
-	}
-	if hasIndexEq && o.Hints.AllowsScan(plan.IndexScan) {
-		col := o.indexEqColumn(table, preds)
-		consider(plan.IndexScan, o.Cost.IndexFetchRows(table, col), len(preds)-1)
-	}
-	if bestNode == nil {
-		return nil, fmt.Errorf("opt: no scan allowed for %s", alias)
-	}
-	return &memoEntry{node: bestNode, cost: bestCost, card: card}, nil
 }
 
 // indexEqColumn returns the first equality-predicate column with an index
@@ -304,219 +184,4 @@ func (o *Optimizer) indexEqColumn(table string, preds []query.Pred) string {
 		}
 	}
 	return ""
-}
-
-// OptimizeGreedy builds a plan by repeatedly joining the pair of
-// sub-plans with the lowest resulting cost (connected pairs only, unless
-// forced). It scales to arbitrary query sizes.
-func (o *Optimizer) OptimizeGreedy(q *query.Query) (*plan.Node, error) {
-	//lqolint:ignore ctxprop compatibility shim; OptimizeGreedyCtx is the context-aware entry point and this wrapper exists for callers with no deadline
-	return o.OptimizeGreedyCtx(context.Background(), q)
-}
-
-// OptimizeGreedyCtx is OptimizeGreedy under a context, checked once per
-// merge round.
-func (o *Optimizer) OptimizeGreedyCtx(ctx context.Context, q *query.Query) (*plan.Node, error) {
-	if len(q.Refs) == 0 {
-		return nil, fmt.Errorf("opt: query has no tables")
-	}
-	var plans int64
-	defer func() { atomic.StoreInt64(&o.plansConsidered, plans) }()
-	g := query.NewJoinGraph(q)
-	var parts []*part
-	for _, a := range q.Aliases() {
-		e, err := o.scanFor(q, a)
-		if err != nil {
-			return nil, err
-		}
-		parts = append(parts, &part{node: e, cost: e.EstCost, card: e.EstCard})
-	}
-	for len(parts) > 1 {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		bestI, bestJ := -1, -1
-		bestCost := math.Inf(1)
-		var bestNode *plan.Node
-		var bestCard float64
-		for i := 0; i < len(parts); i++ {
-			for j := 0; j < len(parts); j++ {
-				if i == j {
-					continue
-				}
-				conds := g.JoinsBetween(parts[i].node.AliasSet(), parts[j].node.AliasSet())
-				if len(conds) == 0 && connectable(g, parts) {
-					continue // avoid cross joins while connected pairs remain
-				}
-				set := parts[i].node.AliasSet()
-				//lqolint:ignore determinism order-insensitive set union; every iteration order yields the same alias set
-				for a := range parts[j].node.AliasSet() {
-					set[a] = true
-				}
-				card := o.estimate(q.Subquery(set))
-				for _, op := range []plan.Op{plan.HashJoin, plan.MergeJoin, plan.NestedLoopJoin} {
-					if len(conds) == 0 && op != plan.NestedLoopJoin {
-						continue
-					}
-					if len(conds) > 0 && !o.Hints.AllowsJoin(op) {
-						continue
-					}
-					plans++
-					total := parts[i].cost + parts[j].cost + o.Cost.JoinCost(op, parts[i].card, parts[j].card, card)
-					if total < bestCost {
-						bestCost = total
-						bestI, bestJ = i, j
-						bestNode = plan.NewJoin(op, parts[i].node, parts[j].node, conds)
-						bestNode.EstCard = card
-						bestNode.EstCost = total
-						bestCard = card
-					}
-				}
-			}
-		}
-		if bestNode == nil {
-			return nil, fmt.Errorf("opt: greedy failed to combine partitions")
-		}
-		merged := &part{node: bestNode, cost: bestCost, card: bestCard}
-		next := parts[:0]
-		for k, p := range parts {
-			if k != bestI && k != bestJ {
-				next = append(next, p)
-			}
-		}
-		parts = append(next, merged)
-	}
-	return parts[0].node, nil
-}
-
-func connectable(g *query.JoinGraph, parts []*part) bool {
-	for i := 0; i < len(parts); i++ {
-		for j := i + 1; j < len(parts); j++ {
-			if len(g.JoinsBetween(parts[i].node.AliasSet(), parts[j].node.AliasSet())) > 0 {
-				return true
-			}
-		}
-	}
-	return false
-}
-
-// part is a greedy-optimizer work item: a sub-plan with its running cost
-// and estimated cardinality.
-type part struct {
-	node *plan.Node
-	cost float64
-	card float64
-}
-
-// scanFor builds the cheapest allowed scan node for alias outside DP.
-func (o *Optimizer) scanFor(q *query.Query, alias string) (*plan.Node, error) {
-	preds := q.PredsOn(alias)
-	table := q.TableOf(alias)
-	card := o.estimate(q.Subquery(map[string]bool{alias: true}))
-
-	bestCost := math.Inf(1)
-	var best *plan.Node
-	consider := func(op plan.Op, inRows float64, npreds int) {
-		c := o.Cost.ScanCost(op, inRows, card, npreds)
-		if c < bestCost {
-			n := plan.NewScan(op, alias, table, preds)
-			n.EstCard = card
-			n.EstCost = c
-			bestCost = c
-			best = n
-		}
-	}
-	hasIndexEq := o.indexEqColumn(table, preds) != ""
-	if o.Hints.AllowsScan(plan.SeqScan) || !hasIndexEq {
-		consider(plan.SeqScan, o.Cost.TableRows(table), len(preds))
-	}
-	if hasIndexEq && o.Hints.AllowsScan(plan.IndexScan) {
-		col := o.indexEqColumn(table, preds)
-		consider(plan.IndexScan, o.Cost.IndexFetchRows(table, col), len(preds)-1)
-	}
-	if best == nil {
-		return nil, fmt.Errorf("opt: no scan allowed for %s", alias)
-	}
-	return best, nil
-}
-
-// PlanFromOrder builds the best left-deep plan following the given alias
-// join order, choosing scan and join operators by cost under the hint set.
-// It is the evaluation path for learned join-order policies.
-func (o *Optimizer) PlanFromOrder(q *query.Query, order []string) (*plan.Node, error) {
-	if len(order) != len(q.Refs) {
-		return nil, fmt.Errorf("opt: order covers %d of %d aliases", len(order), len(q.Refs))
-	}
-	g := query.NewJoinGraph(q)
-	root, err := o.scanFor(q, order[0])
-	if err != nil {
-		return nil, err
-	}
-	set := map[string]bool{order[0]: true}
-	cost0 := root.EstCost
-	for _, a := range order[1:] {
-		right, err := o.scanFor(q, a)
-		if err != nil {
-			return nil, err
-		}
-		set[a] = true
-		conds := g.JoinsBetween(root.AliasSet(), map[string]bool{a: true})
-		card := o.estimate(q.Subquery(set))
-		bestCost := math.Inf(1)
-		var bestNode *plan.Node
-		for _, op := range []plan.Op{plan.HashJoin, plan.MergeJoin, plan.NestedLoopJoin} {
-			if len(conds) == 0 && op != plan.NestedLoopJoin {
-				continue
-			}
-			if len(conds) > 0 && !o.Hints.AllowsJoin(op) {
-				continue
-			}
-			total := cost0 + right.EstCost + o.Cost.JoinCost(op, root.EstCard, right.EstCard, card)
-			if total < bestCost {
-				n := plan.NewJoin(op, root, right, conds)
-				n.EstCard = card
-				n.EstCost = total
-				bestCost = total
-				bestNode = n
-			}
-		}
-		if bestNode == nil {
-			return nil, fmt.Errorf("opt: no join operator allowed for order step %s", a)
-		}
-		root = bestNode
-		cost0 = bestCost
-	}
-	return root, nil
-}
-
-// CandidatePlans optimizes q once per hint set and returns the distinct
-// resulting plans (by fingerprint) — the Bao-style candidate generator.
-func (o *Optimizer) CandidatePlans(q *query.Query, hints []plan.HintSet) ([]*plan.Node, error) {
-	seen := map[string]bool{}
-	var out []*plan.Node
-	for _, h := range hints {
-		if !h.Valid() {
-			continue
-		}
-		p, err := o.WithHints(h).Optimize(q)
-		if err != nil {
-			return nil, err
-		}
-		fp := p.Fingerprint()
-		if !seen[fp] {
-			seen[fp] = true
-			out = append(out, p)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].EstCost < out[j].EstCost })
-	return out, nil
-}
-
-func popcount(x int) int {
-	n := 0
-	for x != 0 {
-		x &= x - 1
-		n++
-	}
-	return n
 }

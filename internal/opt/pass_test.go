@@ -1,0 +1,136 @@
+package opt
+
+import (
+	"context"
+	"testing"
+
+	"lqo/internal/plan"
+	"lqo/internal/workload"
+)
+
+// TestPipelineIdentityOnEnumerationOutput is the refactor's anchor: with
+// sharding off, the default rewrite pipeline must be a semantic no-op on
+// enumeration output — OptimizeCtx (enumerate + passes) returns a plan
+// fingerprint-identical to the raw enumerator's across a generated
+// workload. Enumeration already pushes predicates down and annotates
+// with the same estimator, so every default pass reaches fixpoint
+// without firing.
+func TestPipelineIdentityOnEnumerationOutput(t *testing.T) {
+	f := newFixture(t)
+	ctx := context.Background()
+	qs := workload.GenWorkload(f.cat, workload.Options{Seed: 11, Count: 30, MaxJoins: 4, MaxPreds: 3})
+	for i, q := range qs {
+		raw, err := f.opt.enumerate(ctx, q)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		full, trace, err := f.opt.OptimizeTraceCtx(ctx, q)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if full.Fingerprint() != raw.Fingerprint() {
+			t.Fatalf("query %d: pipeline changed the plan\nraw:  %s\nfull: %s", i, raw.String(), full.String())
+		}
+		for _, tr := range trace {
+			if tr.Fired {
+				t.Fatalf("query %d: pass fired on enumeration output: %v", i, tr)
+			}
+		}
+	}
+}
+
+// TestOptimizeTraceCoversDefaultPasses pins the acceptance criterion:
+// the default pipeline runs at least four distinct passes and the trace
+// records every one of them.
+func TestOptimizeTraceCoversDefaultPasses(t *testing.T) {
+	f := newFixture(t)
+	_, trace, err := f.opt.OptimizeTraceCtx(context.Background(), chainQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, tr := range trace {
+		seen[tr.Pass] = true
+	}
+	for _, name := range []string{"pushdown", "constfold", "joinkey-dedup", "reannotate"} {
+		if !seen[name] {
+			t.Fatalf("trace missing pass %q: %v", name, trace)
+		}
+	}
+	if len(seen) < 4 {
+		t.Fatalf("default pipeline ran %d distinct passes, want >= 4", len(seen))
+	}
+}
+
+// TestOptimizerShardsProducesMergePlans checks the optimizer-level
+// sharding switch: Shards >= 2 appends the shard-scans pass, and the
+// resulting plan fans every SeqScan leaf out into a Merge node whose
+// logical projection still matches the unsharded plan.
+func TestOptimizerShardsProducesMergePlans(t *testing.T) {
+	f := newFixture(t)
+	ctx := context.Background()
+	q := chainQuery()
+	unsharded, err := f.opt.OptimizeCtx(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	so := f.opt.WithEstimator(f.opt.Est) // shallow copy, same estimator
+	so.Shards = 3
+	sharded, trace, err := so.OptimizeTraceCtx(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firedShard := false
+	for _, tr := range trace {
+		if tr.Pass == "shard-scans" && tr.Fired {
+			firedShard = true
+		}
+	}
+	merges := 0
+	sharded.Walk(func(n *plan.Node) {
+		if n.Op == plan.Merge {
+			merges++
+			if len(n.Shards) != 3 {
+				t.Fatalf("Merge has %d shards, want 3", len(n.Shards))
+			}
+		}
+	})
+	seqScans := 0
+	unsharded.Walk(func(n *plan.Node) {
+		if n.Op == plan.SeqScan && n.IsLeaf() {
+			seqScans++
+		}
+	})
+	if seqScans > 0 && (!firedShard || merges != seqScans) {
+		t.Fatalf("shards=3: %d Merge nodes for %d SeqScan leaves (pass fired: %v)", merges, seqScans, firedShard)
+	}
+	// The logical tree (Merge standing in for its scan) keeps the join
+	// order: sharding must never change what the optimizer chose.
+	if got, want := join(sharded.JoinOrder()), join(unsharded.JoinOrder()); got != want {
+		t.Fatalf("sharding changed the join order: %s vs %s", got, want)
+	}
+	// Disabling rewrites entirely must also be possible: an explicit empty
+	// pipeline returns raw enumeration even with Shards set.
+	so.Passes = &plan.PassPipeline{}
+	rawOnly, err := so.OptimizeCtx(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawOnly.Walk(func(n *plan.Node) {
+		if n.Op == plan.Merge {
+			t.Fatal("explicit empty pipeline still sharded the plan")
+		}
+	})
+}
+
+func join(ss []string) string {
+	out := ""
+	for i, s := range ss {
+		if i > 0 {
+			out += ","
+		}
+		out += s
+	}
+	return out
+}

@@ -288,8 +288,16 @@ func pow(f float64, k int) float64 {
 
 // optimize plans q under the session's pushed state.
 func (e *Engine) optimize(ctx context.Context, sess *Session, q *query.Query) (*plan.Node, error) {
+	p, _, err := e.optimizeTrace(ctx, sess, q)
+	return p, err
+}
+
+// optimizeTrace is optimize returning the rewrite-pass trace as well — the
+// provenance EXPLAIN renders. Forced plans bypass the optimizer entirely
+// and carry no trace.
+func (e *Engine) optimizeTrace(ctx context.Context, sess *Session, q *query.Query) (*plan.Node, []plan.PassTrace, error) {
 	if sess != nil && sess.forced != nil {
-		return sess.forced, nil
+		return sess.forced, nil, nil
 	}
 	o := e.Opt
 	if sess != nil {
@@ -300,7 +308,7 @@ func (e *Engine) optimize(ctx context.Context, sess *Session, q *query.Query) (*
 			o = o.WithHints(*sess.hints)
 		}
 	}
-	return o.OptimizeCtx(ctx, q)
+	return o.OptimizeTraceCtx(ctx, q)
 }
 
 // subPlanLabels optimizes q under the session, executes the plan with
@@ -332,15 +340,30 @@ func (e *Engine) subPlanLabels(ctx context.Context, sess *Session, q *query.Quer
 	return labels, nil
 }
 
+// Explain parses and optimizes (honoring the session) sql without
+// executing it, returning the rendered plan followed by the rewrite-pass
+// trace — which passes fired and how the node count changed.
+func (e *Engine) Explain(ctx context.Context, sess *Session, sql string) (string, error) {
+	q, err := sqlx.Parse(sql, e.Cat)
+	if err != nil {
+		return "", err
+	}
+	p, trace, err := e.optimizeTrace(ctx, sess, q)
+	if err != nil {
+		return "", err
+	}
+	return p.String() + plan.RenderTrace(trace), nil
+}
+
 // ExplainAnalyze parses, optimizes (honoring the session) and executes
 // sql, returning the rendered per-operator estimated-vs-actual view plus
-// the execution result.
+// the rewrite-pass trace and the execution result.
 func (e *Engine) ExplainAnalyze(ctx context.Context, sess *Session, sql string) (string, *Result, error) {
 	q, err := sqlx.Parse(sql, e.Cat)
 	if err != nil {
 		return "", nil, err
 	}
-	p, err := e.optimize(ctx, sess, q)
+	p, trace, err := e.optimizeTrace(ctx, sess, q)
 	if err != nil {
 		return "", nil, err
 	}
@@ -362,7 +385,7 @@ func (e *Engine) ExplainAnalyze(ctx context.Context, sess *Session, sql string) 
 			BlocksSkipped: t.BlocksSkipped,
 		}, true
 	})
-	return out, &Result{Count: res.Count, Value: res.Value, Latency: res.Stats.WorkUnits, Plan: p}, nil
+	return out + plan.RenderTrace(trace), &Result{Count: res.Count, Value: res.Value, Latency: res.Stats.WorkUnits, Plan: p}, nil
 }
 
 // ExecuteSQL implements DB.

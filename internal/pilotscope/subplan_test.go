@@ -95,10 +95,15 @@ func TestExplainAnalyze(t *testing.T) {
 	if strings.Contains(rendered, "actual=-") {
 		t.Fatalf("executed plan has un-instrumented nodes:\n%s", rendered)
 	}
-	// One rendered line per plan node.
-	lines := strings.Count(strings.TrimRight(rendered, "\n"), "\n") + 1
+	// The rendering is the per-node view followed by the rewrite-pass
+	// trace: one line per plan node, then the trace block.
+	planPart, _, hasTrace := strings.Cut(rendered, "Rewrite passes:")
+	if !hasTrace {
+		t.Fatalf("rendered output missing the rewrite-pass trace:\n%s", rendered)
+	}
+	lines := strings.Count(strings.TrimRight(planPart, "\n"), "\n") + 1
 	if want := len(res.Plan.Nodes()); lines != want {
-		t.Fatalf("rendered %d lines for %d nodes:\n%s", lines, want, rendered)
+		t.Fatalf("rendered %d plan lines for %d nodes:\n%s", lines, want, rendered)
 	}
 	// EXPLAIN ANALYZE must report exactly what plain execution reports.
 	plain, err := w.eng.ExecuteSQL(context.Background(), &Session{}, sql)

@@ -18,8 +18,11 @@ func ToDOT(root *Node) string {
 		me := id
 		id++
 		label := n.Op.String()
-		if n.IsLeaf() {
+		if n.IsLeaf() || n.Op == Merge {
 			label += "\\n" + n.Alias
+			if n.Op == Merge {
+				label += fmt.Sprintf(" [%d shards]", len(n.Shards))
+			}
 			if len(n.Preds) > 0 {
 				parts := make([]string, len(n.Preds))
 				for i, p := range n.Preds {
@@ -27,6 +30,8 @@ func ToDOT(root *Node) string {
 				}
 				label += "\\n" + escapeDOT(strings.Join(parts, " AND "))
 			}
+		} else if n.Op == Exchange {
+			label += fmt.Sprintf("\\nshard %d/%d", n.Shard, n.ShardOf)
 		} else {
 			parts := make([]string, len(n.Cond))
 			for i, j := range n.Cond {
@@ -41,6 +46,9 @@ func ToDOT(root *Node) string {
 		}
 		if n.Right != nil {
 			fmt.Fprintf(&b, "  n%d -> n%d;\n", rec(n.Right), me)
+		}
+		for _, s := range n.Shards {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", rec(s), me)
 		}
 		return me
 	}

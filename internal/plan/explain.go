@@ -32,10 +32,13 @@ func RenderAnalyze(root *Node, lookup func(*Node) (Actuals, bool)) string {
 			return
 		}
 		b.WriteString(strings.Repeat("  ", depth))
-		if n.IsLeaf() {
+		if n.IsLeaf() || n.Op == Merge {
 			fmt.Fprintf(&b, "%s %s", n.Op, n.Alias)
 			if n.Table != n.Alias && n.Table != "" {
 				fmt.Fprintf(&b, " (%s)", n.Table)
+			}
+			if n.Op == Merge {
+				fmt.Fprintf(&b, " [%d shards]", len(n.Shards))
 			}
 			if len(n.Preds) > 0 {
 				strs := make([]string, len(n.Preds))
@@ -44,6 +47,8 @@ func RenderAnalyze(root *Node, lookup func(*Node) (Actuals, bool)) string {
 				}
 				fmt.Fprintf(&b, " filter: %s", strings.Join(strs, " AND "))
 			}
+		} else if n.Op == Exchange {
+			fmt.Fprintf(&b, "%s [shard %d/%d]", n.Op, n.Shard, n.ShardOf)
 		} else {
 			strs := make([]string, len(n.Cond))
 			for i, j := range n.Cond {
@@ -64,7 +69,30 @@ func RenderAnalyze(root *Node, lookup func(*Node) (Actuals, bool)) string {
 		b.WriteString("\n")
 		rec(n.Left, depth+1)
 		rec(n.Right, depth+1)
+		for _, s := range n.Shards {
+			rec(s, depth+1)
+		}
 	}
 	rec(root, 0)
+	return b.String()
+}
+
+// RenderTrace renders the rewrite-pass trace appended to EXPLAIN output:
+// one line per pass execution, grouped by fixpoint round. An empty trace
+// renders as an empty string.
+func RenderTrace(trace []PassTrace) string {
+	if len(trace) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("Rewrite passes:\n")
+	round := 0
+	for _, t := range trace {
+		if t.Round != round {
+			round = t.Round
+			fmt.Fprintf(&b, " round %d:\n", round)
+		}
+		fmt.Fprintf(&b, "  %s\n", t)
+	}
 	return b.String()
 }

@@ -6,6 +6,7 @@ package plan
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"lqo/internal/query"
@@ -15,12 +16,18 @@ import (
 type Op int
 
 // Physical operators. Scans sit at leaves; joins are binary inner nodes.
+// Merge/Exchange are the scatter-gather pair introduced by the ShardScans
+// rewrite pass: a Merge node gathers N Exchange children (held in
+// Node.Shards), each of which ships a shard-local subplan to a
+// ShardBackend engine instance.
 const (
 	SeqScan Op = iota
 	IndexScan
 	NestedLoopJoin
 	HashJoin
 	MergeJoin
+	Merge
+	Exchange
 )
 
 // String returns the display name of the operator.
@@ -36,6 +43,10 @@ func (op Op) String() string {
 		return "HashJoin"
 	case MergeJoin:
 		return "MergeJoin"
+	case Merge:
+		return "Merge"
+	case Exchange:
+		return "Exchange"
 	default:
 		return fmt.Sprintf("Op(%d)", int(op))
 	}
@@ -54,12 +65,20 @@ func (op Op) IsJoin() bool {
 // and cost model optimized the plan; TrueCard is filled by execution.
 type Node struct {
 	Op    Op
-	Alias string       // scans only
-	Table string       // scans only: base table name
-	Preds []query.Pred // scans: pushed-down filters
+	Alias string       // scans and Merge nodes
+	Table string       // scans and Merge nodes: base table name
+	Preds []query.Pred // scans (and Merge): pushed-down filters
 	Cond  []query.Join // joins: equi-join conditions at this node
 	Left  *Node
 	Right *Node
+
+	// Shards holds a Merge node's n-ary children: one Exchange per hash
+	// partition of the underlying table. Empty on every other operator.
+	Shards []*Node
+	// Shard/ShardOf identify an Exchange node's partition: the node's
+	// subplan (Left) covers partition Shard of ShardOf. Zero elsewhere.
+	Shard   int
+	ShardOf int
 
 	EstCard  float64
 	EstCost  float64
@@ -78,9 +97,13 @@ func NewJoin(op Op, left, right *Node, cond []query.Join) *Node {
 }
 
 // IsLeaf reports whether the node is a scan.
-func (n *Node) IsLeaf() bool { return n.Left == nil && n.Right == nil }
+func (n *Node) IsLeaf() bool {
+	return n.Left == nil && n.Right == nil && len(n.Shards) == 0
+}
 
-// Aliases returns the sorted aliases covered by the subtree.
+// Aliases returns the sorted distinct aliases covered by the subtree.
+// Shard subplans replicate their Merge node's alias, so duplicates are
+// collapsed.
 func (n *Node) Aliases() []string {
 	var out []string
 	n.Walk(func(m *Node) {
@@ -89,7 +112,13 @@ func (n *Node) Aliases() []string {
 		}
 	})
 	sort.Strings(out)
-	return out
+	dedup := out[:0]
+	for i, a := range out {
+		if i == 0 || a != out[i-1] {
+			dedup = append(dedup, a)
+		}
+	}
+	return dedup
 }
 
 // AliasSet returns the subtree's aliases as a set.
@@ -97,7 +126,9 @@ func (n *Node) AliasSet() map[string]bool {
 	return query.SetOf(n.Aliases())
 }
 
-// Walk visits the subtree pre-order.
+// Walk visits the subtree pre-order, descending into a Merge node's
+// shard children after Left/Right. Use WalkLogical to visit the logical
+// tree only (one node per Merge, shard internals skipped).
 func (n *Node) Walk(fn func(*Node)) {
 	if n == nil {
 		return
@@ -105,6 +136,26 @@ func (n *Node) Walk(fn func(*Node)) {
 	fn(n)
 	n.Left.Walk(fn)
 	n.Right.Walk(fn)
+	for _, s := range n.Shards {
+		s.Walk(fn)
+	}
+}
+
+// WalkLogical visits the logical plan pre-order: like Walk, but a Merge
+// node is visited as a single (scan-like) node and its Exchange/shard
+// internals are skipped. Feedback harvesting and estimate snapshots use
+// this view so per-shard cardinalities never masquerade as whole-scan
+// truths.
+func (n *Node) WalkLogical(fn func(*Node)) {
+	if n == nil {
+		return
+	}
+	fn(n)
+	if n.Op == Merge {
+		return
+	}
+	n.Left.WalkLogical(fn)
+	n.Right.WalkLogical(fn)
 }
 
 // Nodes returns all nodes of the subtree in pre-order.
@@ -135,6 +186,12 @@ func (n *Node) Clone() *Node {
 	c.Cond = append([]query.Join(nil), n.Cond...)
 	c.Left = n.Left.Clone()
 	c.Right = n.Right.Clone()
+	if n.Shards != nil {
+		c.Shards = make([]*Node, len(n.Shards))
+		for i, s := range n.Shards {
+			c.Shards[i] = s.Clone()
+		}
+	}
 	return &c
 }
 
@@ -165,6 +222,24 @@ func (n *Node) fingerprint(k *query.KeyBuilder) {
 		k.Raw(")")
 		return
 	}
+	switch n.Op {
+	case Merge:
+		k.Raw(n.Op.String()).Raw("(").Atom(n.Alias).Raw(":").Atom(n.Table)
+		for _, p := range n.Preds {
+			k.Append(p.KeyString())
+		}
+		k.Raw(")[")
+		for _, s := range n.Shards {
+			s.fingerprint(k)
+		}
+		k.Raw("]")
+		return
+	case Exchange:
+		k.Raw(n.Op.String()).Raw("@").Atom(strconv.Itoa(n.Shard)).Raw("/").Atom(strconv.Itoa(n.ShardOf)).Raw("(")
+		n.Left.fingerprint(k)
+		k.Raw(")")
+		return
+	}
 	k.Raw(n.Op.String()).Raw("[")
 	for _, j := range n.Cond {
 		k.Append(j.KeyString())
@@ -192,6 +267,18 @@ func (n *Node) structureKey(k *query.KeyBuilder) {
 		k.Raw(n.Op.String()).Raw("(").Atom(n.Alias).Raw(")")
 		return
 	}
+	switch n.Op {
+	case Merge:
+		// Shard count (not per-shard subtrees) is the structural signal: a
+		// 2-way and a 4-way merge of the same scan are different shapes.
+		k.Raw(n.Op.String()).Raw("@").Atom(strconv.Itoa(len(n.Shards))).Raw("(").Atom(n.Alias).Raw(")")
+		return
+	case Exchange:
+		k.Raw(n.Op.String()).Raw("(")
+		n.Left.structureKey(k)
+		k.Raw(")")
+		return
+	}
 	k.Raw(n.Op.String()).Raw("(")
 	n.Left.structureKey(k)
 	k.Raw(",")
@@ -211,10 +298,14 @@ func (n *Node) render(b *strings.Builder, depth int) {
 		return
 	}
 	b.WriteString(strings.Repeat("  ", depth))
-	if n.IsLeaf() {
+	switch {
+	case n.IsLeaf(), n.Op == Merge:
 		fmt.Fprintf(b, "%s %s", n.Op, n.Alias)
 		if n.Table != n.Alias && n.Table != "" {
 			fmt.Fprintf(b, " (%s)", n.Table)
+		}
+		if n.Op == Merge {
+			fmt.Fprintf(b, " [%d shards]", len(n.Shards))
 		}
 		if len(n.Preds) > 0 {
 			strs := make([]string, len(n.Preds))
@@ -223,7 +314,9 @@ func (n *Node) render(b *strings.Builder, depth int) {
 			}
 			fmt.Fprintf(b, " filter: %s", strings.Join(strs, " AND "))
 		}
-	} else {
+	case n.Op == Exchange:
+		fmt.Fprintf(b, "%s [shard %d/%d]", n.Op, n.Shard, n.ShardOf)
+	default:
 		strs := make([]string, len(n.Cond))
 		for i, j := range n.Cond {
 			strs[i] = j.String()
@@ -236,6 +329,9 @@ func (n *Node) render(b *strings.Builder, depth int) {
 	b.WriteString("\n")
 	n.Left.render(b, depth+1)
 	n.Right.render(b, depth+1)
+	for _, s := range n.Shards {
+		s.render(b, depth+1)
+	}
 }
 
 // Subquery reconstructs the logical sub-query computed by the subtree of q.
@@ -252,7 +348,8 @@ func (n *Node) JoinOrder() []string {
 		if m == nil {
 			return
 		}
-		if m.IsLeaf() {
+		if m.IsLeaf() || m.Op == Merge {
+			// A Merge node stands in for the scan it sharded: one leaf.
 			out = append(out, m.Alias)
 			return
 		}

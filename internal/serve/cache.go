@@ -79,8 +79,11 @@ func (c *PlanCache) Get(key string) *plan.Node {
 // estimated cardinalities for later drift checks. The cache keeps its
 // own clone.
 func (c *PlanCache) Put(key string, p *plan.Node) {
+	// Logical walk: shard internals of a Merge node carry per-partition
+	// cardinalities that would skew the drift check (and their count
+	// depends on the shard config, breaking positional alignment).
 	est := make([]float64, 0, 8)
-	p.Walk(func(n *plan.Node) { est = append(est, n.EstCard) })
+	p.WalkLogical(func(n *plan.Node) { est = append(est, n.EstCard) })
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
@@ -110,7 +113,7 @@ func (c *PlanCache) Observe(key string, executed *plan.Node, maxQErr float64) bo
 		return false
 	}
 	truth := make([]float64, 0, 8)
-	executed.Walk(func(n *plan.Node) { truth = append(truth, n.TrueCard) })
+	executed.WalkLogical(func(n *plan.Node) { truth = append(truth, n.TrueCard) })
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.entries[key]

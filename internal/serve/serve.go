@@ -12,6 +12,7 @@ package serve
 
 import (
 	"context"
+	"strconv"
 	"sync"
 	"time"
 
@@ -201,14 +202,17 @@ func (s *Server) run(ctx context.Context, tenant string, q *query.Query, key str
 	}
 	defer release()
 
+	key = s.cacheKey(key)
 	planStart := time.Now()
 	p := s.cache.Get(key)
 	cached := p != nil
 	if cached && rebind {
 		// Generic-plan reuse: keep the cached join order and operators,
-		// swap in this binding's literal predicates at the leaves.
+		// swap in this binding's literal predicates at the leaves. Merge
+		// nodes rebind like the scans they stand in for; their shard scan
+		// leaves are covered by the same walk.
 		p.Walk(func(n *plan.Node) {
-			if n.IsLeaf() {
+			if n.IsLeaf() || n.Op == plan.Merge {
 				n.Preds = q.PredsOn(n.Alias)
 			}
 		})
@@ -302,7 +306,21 @@ func (s *Server) Invalidate(sql string) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	return s.cache.Invalidate(p.ShapeKey()), nil
+	return s.cache.Invalidate(s.cacheKey(p.ShapeKey())), nil
+}
+
+// cacheKey derives the plan-cache key from the canonical query key (or
+// statement shape key): the key itself when the optimizer plans
+// single-node trees, the key with the shard fan-out folded in otherwise —
+// sharded and unsharded plans for the same SQL must never collide in the
+// cache.
+func (s *Server) cacheKey(key string) string {
+	if s.opt.Shards < 2 {
+		return key
+	}
+	var k query.KeyBuilder
+	k.Raw("shards").Atom(strconv.Itoa(s.opt.Shards)).Raw("|").Append(key)
+	return k.String()
 }
 
 // Stats returns a snapshot of the server's counters.
