@@ -1,5 +1,5 @@
 // Command lqo-bench regenerates the workbench's experiment tables E1–E10
-// and E13–E16 (see DESIGN.md for the experiment index and EXPERIMENTS.md
+// and E13–E17 (see DESIGN.md for the experiment index and EXPERIMENTS.md
 // for recorded results).
 //
 // Usage:
@@ -12,7 +12,9 @@
 //	lqo-bench -exp E14 -load-qps 500   # open-loop sustained load through the serving layer
 //	lqo-bench -exp E15 -adapt-stages 4 # closed-loop adaptation under staged drift
 //	lqo-bench -exp E16 -shards 1,2,4   # sharded scatter-gather vs unsharded reference
+//	lqo-bench -exp E17 -workers 1,8    # pooled vs per-run allocation, steady state
 //	lqo-bench -exp E5 -novec           # any experiment with vectorization disabled
+//	lqo-bench -exp E5 -nopool          # any experiment with buffer pooling disabled
 //	lqo-bench -chaos                   # E10 guardrails under fault injection
 //	lqo-bench -chaos -chaos-rates 0,0.25 -chaos-timeout 2ms
 package main
@@ -39,6 +41,7 @@ func main() {
 		repeatFlag  = flag.Int("repeat", 3, "E9 passes over the workload per measurement")
 		batchFlag   = flag.Int("batch", 0, "E9 executor batch size in tuples (0 = exec default); results are identical at every setting")
 		novecFlag   = flag.Bool("novec", false, "disable vectorized kernels and zone-map pruning on the shared executor; results are identical, only wall clock changes (E13 always runs its own scalar-vs-vectorized A/B)")
+		nopoolFlag  = flag.Bool("nopool", false, "disable batch/selection-vector pooling on the shared executor; results are identical, only allocation behaviour changes (E17 always runs its own pooled-vs-nopool A/B)")
 
 		loadQPS      = flag.String("load-qps", "200,1000", "E14 comma-separated target arrival rates")
 		loadDur      = flag.Duration("load-dur", time.Second, "E14 measured duration per rate level")
@@ -52,6 +55,8 @@ func main() {
 		adaptFraction = flag.Float64("adapt-fraction", 0.6, "E15 appended-row fraction per drift stage")
 
 		shardsFlag = flag.String("shards", "1,2,4", "E16 comma-separated shard fan-outs (1 = unsharded baseline)")
+
+		workersFlag = flag.String("workers", "1,8", "E17 comma-separated executor worker counts")
 
 		chaosFlag    = flag.Bool("chaos", false, "shorthand for -exp E10: guardrail runtime under fault injection")
 		chaosRates   = flag.String("chaos-rates", "0,0.01,0.10", "E10 comma-separated fault rates in [0,1]")
@@ -69,7 +74,7 @@ func main() {
 	case *chaosFlag:
 		want["E10"] = true
 	case *expFlag == "all":
-		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E13", "E14", "E15", "E16"} {
+		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E13", "E14", "E15", "E16", "E17"} {
 			want[id] = true
 		}
 	default:
@@ -177,6 +182,21 @@ func main() {
 			}
 			return bench.E16Sharding(ctx, env, counts, *repeatFlag)
 		}},
+		{"E17", func(ctx context.Context, env *bench.Env) (*bench.Report, error) {
+			var counts []int
+			for _, s := range strings.Split(*workersFlag, ",") {
+				s = strings.TrimSpace(s)
+				if s == "" {
+					continue
+				}
+				var v int
+				if _, err := fmt.Sscanf(s, "%d", &v); err != nil || v < 1 {
+					return nil, fmt.Errorf("bad -workers entry %q", s)
+				}
+				counts = append(counts, v)
+			}
+			return bench.E17Pooling(ctx, env, counts, *repeatFlag)
+		}},
 	}
 
 	for _, r := range runners {
@@ -190,6 +210,7 @@ func main() {
 			fatal(err)
 		}
 		env.Ex.NoVec = *novecFlag
+		env.Ex.NoPool = *nopoolFlag
 		start := time.Now()
 		rep, err := r.run(ctx, env)
 		if err != nil {

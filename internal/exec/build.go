@@ -19,7 +19,12 @@ func (e *Executor) buildOperator(q *query.Query, n *plan.Node) (Operator, error)
 		}
 		backend := e.Backend
 		if backend == nil {
-			backend = NewLocalBackend(e.Cat, e.NoVec)
+			lb := NewLocalBackend(e.Cat, e.NoVec)
+			// Shard engines draw from the owning executor's pool; their
+			// emitted rows are plainly allocated (retained by the exchange
+			// operators) but selection scaffolding is shared.
+			lb.pool, lb.noPool = e.batchPool(), e.NoPool
+			backend = lb
 		}
 		exs := make([]*exchangeOp, len(n.Shards))
 		for i, s := range n.Shards {
@@ -28,14 +33,14 @@ func (e *Executor) buildOperator(q *query.Query, n *plan.Node) (Operator, error)
 			}
 			exs[i] = &exchangeOp{backend: backend, q: q, node: s}
 		}
-		return &mergeOp{e: e, q: q, node: n, exs: exs}, nil
+		return &mergeOp{e: e, q: q, node: n, exs: exs, pool: e.batchPool()}, nil
 	}
 	if n.IsLeaf() {
 		switch n.Op {
 		case plan.SeqScan:
-			return &seqScanOp{e: e, q: q, node: n}, nil
+			return &seqScanOp{e: e, q: q, node: n, pool: e.batchPool()}, nil
 		case plan.IndexScan:
-			return &indexScanOp{e: e, q: q, node: n}, nil
+			return &indexScanOp{e: e, q: q, node: n, pool: e.batchPool()}, nil
 		default:
 			return nil, fmt.Errorf("exec: %s is not a scan operator", n.Op)
 		}
@@ -48,16 +53,20 @@ func (e *Executor) buildOperator(q *query.Query, n *plan.Node) (Operator, error)
 	if err != nil {
 		return nil, err
 	}
+	// Decouple each join from its children through a buffered exchange so
+	// adjacent pipeline stages overlap (a no-op unless Workers > 1; Merge
+	// children are its own scatter-gather exchanges and are never wrapped).
+	left, right = e.stage(left), e.stage(right)
 	if len(n.Cond) == 0 {
 		// Cross product: only nested loop supports it.
 		if n.Op != plan.NestedLoopJoin {
 			return nil, fmt.Errorf("exec: %s requires at least one equi-join condition", n.Op)
 		}
-		return &crossJoinOp{e: e, q: q, node: n, left: left, right: right}, nil
+		return &crossJoinOp{e: e, q: q, node: n, left: left, right: right, pool: e.batchPool()}, nil
 	}
 	switch n.Op {
 	case plan.HashJoin, plan.MergeJoin, plan.NestedLoopJoin:
-		return &hashJoinOp{e: e, q: q, node: n, left: left, right: right}, nil
+		return &hashJoinOp{e: e, q: q, node: n, left: left, right: right, pool: e.batchPool()}, nil
 	default:
 		return nil, fmt.Errorf("exec: %s is not a join operator", n.Op)
 	}

@@ -21,6 +21,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync"
 
 	"lqo/internal/data"
 	"lqo/internal/plan"
@@ -97,9 +98,47 @@ type Executor struct {
 	// either way; the flag exists for A/B benchmarking (lqo-bench -novec)
 	// and as an escape hatch.
 	NoVec bool
+	// NoPool disables the batch/selection-vector pool and the tuple
+	// arena (pool.go), restoring plain per-block allocation. Results are
+	// identical either way; together with NoVec and NoExchange a
+	// regression bisects to pooling vs kernels vs concurrency
+	// (lqo-bench -nopool).
+	NoPool bool
+	// NoExchange disables the buffered inter-operator exchange
+	// (concurrent.go) that overlaps pipeline stages when Workers > 1.
+	// Results are identical either way; only scheduling changes.
+	NoExchange bool
 	// Backend runs the shard subplans of Merge nodes (shard.go). Nil means
 	// an in-process LocalBackend over Cat, created per plan build.
 	Backend ShardBackend
+
+	// pool is the executor's shared buffer pool, created lazily on first
+	// use (or installed by SetPool) and reused across every run for the
+	// executor's lifetime — a cached plan's steady-state executions
+	// recycle the same buffers.
+	pool     *BatchPool
+	poolOnce sync.Once
+}
+
+// SetPool installs a shared buffer pool, letting several executors — or
+// a serving layer that owns the executor — draw from one pool. It must
+// be called before the first execution; once the executor has lazily
+// created its own pool, SetPool is a no-op (whichever comes first wins,
+// exactly once).
+func (e *Executor) SetPool(p *BatchPool) {
+	e.poolOnce.Do(func() { e.pool = p })
+}
+
+// batchPool returns the executor's pool, creating it on first use. Nil
+// under NoPool: every pool and arena call site accepts a nil pool and
+// falls back to plain allocation, which is exactly the pre-pooling
+// behavior.
+func (e *Executor) batchPool() *BatchPool {
+	if e.NoPool {
+		return nil
+	}
+	e.poolOnce.Do(func() { e.pool = NewBatchPool() })
+	return e.pool
 }
 
 // New returns an executor over cat.
@@ -155,7 +194,9 @@ func (e *Executor) RunAnalyze(ctx context.Context, q *query.Query, p *plan.Node)
 	if err != nil {
 		return nil, nil, err
 	}
-	sink := newAggSink(e, q, root)
+	// Decouple the sink from the root producer so the final join overlaps
+	// the aggregate fold (a no-op wrapper unless Workers > 1).
+	sink := newAggSink(e, q, e.stage(root))
 	if err := sink.Open(ctx); err != nil {
 		sink.Close()
 		return nil, nil, err

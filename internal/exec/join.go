@@ -150,6 +150,7 @@ type hashJoinOp struct {
 	node        *plan.Node
 	left, right Operator
 	schema      []string
+	pool        *BatchPool
 
 	ctx      context.Context
 	lks, rks []keyCol
@@ -158,17 +159,27 @@ type hashJoinOp struct {
 
 	started      bool
 	buildIsRight bool
-	build        [][]int32
+	build        [][]int32 // aliases bufLeft or bufRight
 	ht           map[uint64][]int32
 
 	probeBuf    [][]int32 // current probe tuples (buffered side or a streamed batch view)
 	probeIdx    int
 	probeStream bool // pull further probe batches from the left child
 
+	// Owned pooled buffers. build and probeBuf only ever alias these (or a
+	// borrowed streamed batch), so Close returns exactly these and never a
+	// child's buffer.
+	bufLeft, bufRight [][]int32
+	seg               [][]int32 // pooled probe-segment gather buffer
+
+	arena  tupleArena // slab storage behind emitted output tuples
+	chunk  arenaChunk // serial-path carving handle
+	chunks []arenaChunk
+
 	leftRows, rightRows int64
 	probeChecked        int
 
-	pending [][]int32
+	pending [][]int32 // pooled buffer of output tuples awaiting emission
 	pendIdx int
 	emitted int
 	done    bool
@@ -204,15 +215,36 @@ func (j *hashJoinOp) Open(ctx context.Context) error {
 			return fmt.Errorf("exec: equi-join on float column unsupported")
 		}
 	}
+	if j.pool != nil {
+		j.arena.pool = j.pool
+		j.chunk.a = &j.arena
+	}
+	j.pending = j.pool.GetTuples(0)
+	j.seg = j.pool.GetTuples(0)
+	j.bufLeft = j.pool.GetTuples(0)
+	j.bufRight = j.pool.GetTuples(0)
 	j.tel.charges = append(j.tel.charges, cStartup)
 	return nil
+}
+
+// ensureChunks sizes the per-span carving handles for the partitioned
+// probe; slab remainders persist across segments.
+func (j *hashJoinOp) ensureChunks(n int) {
+	if len(j.chunks) >= n {
+		return
+	}
+	j.chunks = make([]arenaChunk, n)
+	if j.pool != nil {
+		for i := range j.chunks {
+			j.chunks[i].a = &j.arena
+		}
+	}
 }
 
 // start runs the build phase: drain the right child (the build
 // candidate), buffer the left prefix until the build side is decided, and
 // build the hash table.
 func (j *hashJoinOp) start() error {
-	var rightBuf [][]int32
 	for {
 		b, err := j.right.Next()
 		if err != nil {
@@ -222,13 +254,12 @@ func (j *hashJoinOp) start() error {
 			break
 		}
 		j.tel.RowsIn += int64(b.Len())
-		rightBuf = append(rightBuf, b.Tuples...)
+		j.bufRight = append(j.bufRight, b.Tuples...)
 	}
-	j.rightRows = int64(len(rightBuf))
+	j.rightRows = int64(len(j.bufRight))
 
-	var leftPrefix [][]int32
 	leftDone := false
-	for int64(len(leftPrefix)) < j.rightRows {
+	for int64(len(j.bufLeft)) < j.rightRows {
 		b, err := j.left.Next()
 		if err != nil {
 			return err
@@ -238,44 +269,46 @@ func (j *hashJoinOp) start() error {
 			break
 		}
 		j.tel.RowsIn += int64(b.Len())
-		leftPrefix = append(leftPrefix, b.Tuples...)
+		j.bufLeft = append(j.bufLeft, b.Tuples...)
 	}
-	j.leftRows = int64(len(leftPrefix))
+	j.leftRows = int64(len(j.bufLeft))
 
 	if leftDone && j.leftRows < j.rightRows {
 		// Left is strictly smaller: build on left, probe the materialized
 		// right side.
 		j.buildIsRight = false
-		j.build = leftPrefix
+		j.build = j.bufLeft
 		j.bks, j.pks = j.lks, j.rks
-		j.probeBuf = rightBuf
+		j.probeBuf = j.bufRight
 	} else {
 		// Left is at least as large: build on right, probe the buffered
 		// prefix and then stream the rest of the left side.
 		j.buildIsRight = true
-		j.build = rightBuf
+		j.build = j.bufRight
 		j.bks, j.pks = j.rks, j.lks
-		j.probeBuf = leftPrefix
+		j.probeBuf = j.bufLeft
 		j.probeStream = !leftDone
 	}
 	j.bg, j.pg = newKeyGather(j.bks), newKeyGather(j.pks)
 	// Bulk-gather the build keys in one typed pass, then insert.
-	keys := j.bg.gather(j.build, nil)
+	keys := j.bg.gather(j.build, j.pool.GetKeys(len(j.build)))
 	j.ht = make(map[uint64][]int32, len(j.build))
 	for ti := range j.build {
 		if ti%cancelCheckRows == 0 {
 			if err := j.ctx.Err(); err != nil {
+				j.pool.PutKeys(keys)
 				return err
 			}
 		}
 		j.ht[keys[ti]] = append(j.ht[keys[ti]], int32(ti))
 	}
+	j.pool.PutKeys(keys)
 	return nil
 }
 
 // emit appends the matches of one probe tuple to buf in build order,
-// oriented left-tuple-first.
-func (j *hashJoinOp) emit(pt []int32, buf [][]int32) [][]int32 {
+// oriented left-tuple-first. Output tuples carve from c's arena slab.
+func (j *hashJoinOp) emit(pt []int32, buf [][]int32, c *arenaChunk) [][]int32 {
 	h := j.pg.key(pt)
 	for _, bi := range j.ht[h] {
 		bt := j.build[bi]
@@ -288,7 +321,7 @@ func (j *hashJoinOp) emit(pt []int32, buf [][]int32) [][]int32 {
 		} else {
 			lt, rt = bt, pt
 		}
-		buf = append(buf, concatTuple(lt, rt))
+		buf = append(buf, c.concat(lt, rt))
 	}
 	return buf
 }
@@ -322,9 +355,12 @@ func (j *hashJoinOp) nextProbe() ([]int32, bool, error) {
 }
 
 // gatherSegment collects up to n probe tuples for a partitioned probe
-// step, copying only tuple pointers.
+// step into the reused pooled segment buffer, copying only tuple
+// pointers — the pointers stay valid after the source batch's outer
+// array is recycled by the producer's next pull.
 func (j *hashJoinOp) gatherSegment(n int) ([][]int32, error) {
-	var seg [][]int32
+	seg := j.seg[:0]
+	defer func() { j.seg = seg }()
 	for len(seg) < n {
 		if j.probeIdx < len(j.probeBuf) {
 			take := len(j.probeBuf) - j.probeIdx
@@ -362,7 +398,7 @@ func (j *hashJoinOp) probeSegmentSerial(seg [][]int32, limit int) error {
 		}
 		j.probeChecked++
 		before := len(j.pending)
-		j.pending = j.emit(pt, j.pending)
+		j.pending = j.emit(pt, j.pending, &j.chunk)
 		j.emitted += len(j.pending) - before
 		if j.emitted > limit {
 			return j.capErr()
@@ -373,23 +409,24 @@ func (j *hashJoinOp) probeSegmentSerial(seg [][]int32, limit int) error {
 
 func (j *hashJoinOp) probeSegmentParallel(seg [][]int32, w, limit int) error {
 	spans := splitSpans(len(seg), w)
-	bufs := make([][][]int32, len(spans))
+	j.ensureChunks(len(spans))
 	var exceeded atomic.Bool
-	runSpans(spans, func(si int, s span) {
-		var buf [][]int32
-		for i := s.lo; i < s.hi; i++ {
-			buf = j.emit(seg[i], buf)
+	before := len(j.pending)
+	var ok bool
+	j.pending, ok = collectSpans(j.pool, spans, j.pending, func(si int, sp span, buf [][]int32) ([][]int32, bool) {
+		for i := sp.lo; i < sp.hi; i++ {
+			buf = j.emit(seg[i], buf, &j.chunks[si])
 			// A single partition past the cap already implies the total is
 			// past it; bail early instead of materializing more.
 			if len(buf) > limit {
 				exceeded.Store(true)
-				return
+				return buf, false
 			}
 			if i%1024 == 0 && (exceeded.Load() || j.ctx.Err() != nil) {
-				return
+				return buf, false
 			}
 		}
-		bufs[si] = buf
+		return buf, true
 	})
 	if err := j.ctx.Err(); err != nil {
 		return err
@@ -397,13 +434,15 @@ func (j *hashJoinOp) probeSegmentParallel(seg [][]int32, w, limit int) error {
 	if exceeded.Load() {
 		return j.capErr()
 	}
-	for _, b := range bufs {
-		j.emitted += len(b)
+	if !ok {
+		// Neither canceled nor exceeded, yet a worker aborted: impossible
+		// by construction, but fail closed rather than silently truncate.
+		return j.capErr()
 	}
+	j.emitted += len(j.pending) - before
 	if j.emitted > limit {
 		return j.capErr()
 	}
-	j.pending = append(j.pending, mergeSpanBuffers(bufs)...)
 	return nil
 }
 
@@ -445,7 +484,7 @@ func (j *hashJoinOp) fill() error {
 		}
 		j.probeChecked++
 		before := len(j.pending)
-		j.pending = j.emit(pt, j.pending)
+		j.pending = j.emit(pt, j.pending, &j.chunk)
 		j.emitted += len(j.pending) - before
 		if j.emitted > limit {
 			return j.capErr()
@@ -499,8 +538,22 @@ func (j *hashJoinOp) finish() {
 	j.node.TrueCard = float64(j.emitted)
 }
 
+// Close returns the owned pooled buffers (bufLeft/bufRight/seg/pending —
+// build and probeBuf are aliases of these or of a borrowed streamed batch,
+// never Put) and releases the output-tuple arena.
 func (j *hashJoinOp) Close() error {
+	j.pool.PutTuples(j.bufLeft)
+	j.pool.PutTuples(j.bufRight)
+	j.pool.PutTuples(j.seg)
+	j.pool.PutTuples(j.pending)
+	j.bufLeft, j.bufRight, j.seg = nil, nil, nil
 	j.build, j.ht, j.probeBuf, j.pending, j.out.Tuples = nil, nil, nil, nil, nil
+	j.chunk.reset()
+	for i := range j.chunks {
+		j.chunks[i].reset()
+	}
+	j.chunks = nil
+	j.arena.release()
 	err := j.left.Close()
 	if err2 := j.right.Close(); err == nil {
 		err = err2
@@ -521,11 +574,15 @@ type crossJoinOp struct {
 	node        *plan.Node
 	left, right Operator
 	schema      []string
+	pool        *BatchPool
 
 	ctx        context.Context
 	started    bool
-	lbuf, rbuf [][]int32
+	lbuf, rbuf [][]int32 // pooled materialized inputs
 	li, ri     int
+
+	arena tupleArena // slab storage behind emitted output tuples
+	chunk arenaChunk
 
 	pending [][]int32
 	pendIdx int
@@ -550,6 +607,13 @@ func (c *crossJoinOp) Open(ctx context.Context) error {
 		return err
 	}
 	c.schema = append(append([]string{}, c.left.Schema()...), c.right.Schema()...)
+	if c.pool != nil {
+		c.arena.pool = c.pool
+		c.chunk.a = &c.arena
+	}
+	c.lbuf = c.pool.GetTuples(0)
+	c.rbuf = c.pool.GetTuples(0)
+	c.pending = c.pool.GetTuples(0)
 	c.tel.charges = append(c.tel.charges, cStartup)
 	return nil
 }
@@ -588,7 +652,7 @@ func (c *crossJoinOp) fill() error {
 		}
 		lt := c.lbuf[c.li]
 		for c.ri < len(c.rbuf) && len(c.pending) < bs {
-			c.pending = append(c.pending, concatTuple(lt, c.rbuf[c.ri]))
+			c.pending = append(c.pending, c.chunk.concat(lt, c.rbuf[c.ri]))
 			c.ri++
 			c.emitted++
 		}
@@ -633,7 +697,12 @@ func (c *crossJoinOp) Next() (*Batch, error) {
 }
 
 func (c *crossJoinOp) Close() error {
+	c.pool.PutTuples(c.lbuf)
+	c.pool.PutTuples(c.rbuf)
+	c.pool.PutTuples(c.pending)
 	c.lbuf, c.rbuf, c.pending, c.out.Tuples = nil, nil, nil, nil
+	c.chunk.reset()
+	c.arena.release()
 	err := c.left.Close()
 	if err2 := c.right.Close(); err == nil {
 		err = err2

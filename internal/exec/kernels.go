@@ -392,13 +392,14 @@ func (bf *blockFilter) refineIDs(sel []int32) []int32 {
 }
 
 // filterSpanTuples runs the vectorized filter over [lo, hi) on one
-// worker, checking ctx between block groups, and returns the matching
-// single-column tuples in row order. On cancellation it returns a
-// partial (discardable) buffer; callers re-check ctx after the join, as
-// the scalar span workers do.
-func filterSpanTuples(ctx context.Context, bf *blockFilter, lo, hi int) [][]int32 {
-	var out [][]int32
-	var sel []int32
+// worker, checking ctx between block groups, and appends the matching
+// single-column tuples to dst in row order. The selection vector comes
+// from (and returns to) pool; tuple storage carves from c. Both may be
+// nil for plain allocation (the reference evaluator). On cancellation it
+// returns a partial (discardable) buffer; callers re-check ctx after the
+// join, as the scalar span workers do.
+func filterSpanTuples(ctx context.Context, bf *blockFilter, lo, hi int, dst [][]int32, pool *BatchPool, c *arenaChunk) [][]int32 {
+	sel := pool.GetSel(0)
 	for n := 0; lo < hi; n++ {
 		b := lo / data.ZoneBlockSize
 		end := (b + 1) * data.ZoneBlockSize
@@ -407,27 +408,29 @@ func filterSpanTuples(ctx context.Context, bf *blockFilter, lo, hi int) [][]int3
 		}
 		// Every 4 blocks ≈ cancelCheckRows rows between ctx checks.
 		if n%4 == 0 && ctx.Err() != nil {
-			return nil
+			break
 		}
 		if bf.pruned == nil || !bf.pruned[b] {
 			sel = bf.filterRange(int32(lo), int32(end), sel[:0])
-			out = appendTuples(out, sel)
+			dst = appendTuples(dst, sel, c)
 		}
 		lo = end
 	}
-	return out
+	pool.PutSel(sel)
+	return dst
 }
 
 // appendTuples converts a selection vector into single-column row-id
 // tuples appended to dst. All tuples of one call share a single backing
-// allocation (full-capacity sub-slices, so a retained tuple can never be
-// clobbered) — one allocation per block instead of one per matching row,
-// which is where most of the scalar scan's allocation volume went.
-func appendTuples(dst [][]int32, sel []int32) [][]int32 {
+// carve from c's arena slab (full-capacity sub-slices, so a retained
+// tuple can never be clobbered) — one slab allocation per ~8k matching
+// rows. A nil-arena chunk allocates one backing per call, the
+// pre-pooling behavior.
+func appendTuples(dst [][]int32, sel []int32, c *arenaChunk) [][]int32 {
 	if len(sel) == 0 {
 		return dst
 	}
-	backing := make([]int32, len(sel))
+	backing := c.alloc(len(sel))
 	copy(backing, sel)
 	for i := range backing {
 		dst = append(dst, backing[i:i+1:i+1])

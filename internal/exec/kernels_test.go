@@ -136,7 +136,7 @@ func checkEquiv(t *testing.T, rng *rand.Rand, cols []*data.Column, preds []query
 	want := scalarSelect(cols, preds, 0, nrows)
 
 	sameIDs(t, msg+"/filterSpan", bf.filterSpan(0, nrows, nil), want)
-	sameIDs(t, msg+"/spanTuples", idsOf(filterSpanTuples(context.Background(), bf, 0, nrows)), want)
+	sameIDs(t, msg+"/spanTuples", idsOf(filterSpanTuples(context.Background(), bf, 0, nrows, nil, nil, nil)), want)
 
 	// Non-aligned sub-span: [lo, hi) cut at arbitrary offsets.
 	if nrows > 2 {
@@ -232,7 +232,7 @@ func TestBlockFilterNoPreds(t *testing.T) {
 // tuples from one appendTuples call must be full-capacity sub-slices, so
 // appending to a retained tuple can never clobber its neighbor.
 func TestAppendTuplesIsolation(t *testing.T) {
-	out := appendTuples(nil, []int32{10, 20, 30})
+	out := appendTuples(nil, []int32{10, 20, 30}, nil)
 	if len(out) != 3 {
 		t.Fatalf("got %d tuples", len(out))
 	}

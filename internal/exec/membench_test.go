@@ -6,11 +6,13 @@
 //
 //	go test ./internal/exec/ -bench DeepJoin -benchmem -run xx
 //
-// Results are recorded in EXPERIMENTS.md (E12).
+// Results are recorded in EXPERIMENTS.md (E12; steady-state pooling in
+// E17).
 package exec_test
 
 import (
 	"context"
+	"runtime"
 	"testing"
 
 	"lqo/internal/datagen"
@@ -64,6 +66,52 @@ func BenchmarkDeepJoinStreaming(b *testing.B) {
 		if _, err := ex.Run(q, p); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkDeepJoinSteadyState measures the cached-plan serving shape:
+// one plan tree executed repeatedly on one executor, so the pool's
+// steady state (every buffer and slab recycled) is what's on the clock.
+// Warm-up runs populate the pool before measurement; allocs/op and
+// allocs/row come from runtime.MemStats deltas across the measured loop.
+func BenchmarkDeepJoinSteadyState(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		noPool bool
+	}{{"pooled", false}, {"nopool", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			ex, q := benchSetup(b)
+			ex.NoPool = mode.noPool
+			p, err := exec.CanonicalPlan(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var rows int64
+			for i := 0; i < 3; i++ { // warm-up: fill the pool, settle sizes
+				res, err := ex.Run(q, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rows = res.Stats.TuplesRead + res.Stats.TuplesJoined
+			}
+			runtime.GC()
+			var m0, m1 runtime.MemStats
+			runtime.ReadMemStats(&m0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ex.Run(q, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			runtime.ReadMemStats(&m1)
+			allocs := float64(m1.Mallocs - m0.Mallocs)
+			b.ReportMetric(allocs/float64(b.N), "allocs/op")
+			if rows > 0 {
+				b.ReportMetric(allocs/float64(b.N)/float64(rows), "allocs/row")
+			}
+		})
 	}
 }
 

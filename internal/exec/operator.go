@@ -36,8 +36,13 @@ const DefaultBatchSize = 1024
 // Batch is one fixed-capacity unit of rows streaming between operators:
 // tuples of row ids, one per alias of the producing operator's schema.
 // The Tuples slice (the outer array) is owned by the producer and may be
-// reused after the consumer's next pull; the per-tuple []int32 values are
-// immutable and may be retained.
+// reused — or returned to the producer's BatchPool and recycled by an
+// unrelated operator — after the consumer's next pull; a consumer that
+// needs tuples across pulls must copy the tuple pointers out first. The
+// per-tuple []int32 values are immutable and may be retained until the
+// producing operator's Close (they carve from the producer's tuple arena,
+// whose slabs are recycled only at Close — and operators close top-down,
+// parents before their children release).
 type Batch struct {
 	Tuples [][]int32
 }

@@ -69,6 +69,40 @@ func runSpans(spans []span, fn func(i int, s span)) {
 	wg.Wait()
 }
 
+// collectSpans is the one span-buffer allocation path shared by every
+// fork-join fill — the parallel scan, the hash-join probe and the
+// reference evaluator's partitioned phases. It runs fill over each span
+// on the worker pool, handing every worker a private output buffer from
+// the pool, then concatenates the buffers into dst in span order (the
+// serial iteration order) and returns the scaffolding to the pool. A
+// fill that returns ok=false (cap exceeded, cancellation) aborts the
+// whole segment: dst comes back unchanged and the caller decides which
+// error wins. A nil pool allocates plainly — the reference evaluator and
+// the NoPool path.
+func collectSpans(pool *BatchPool, spans []span, dst [][]int32, fill func(si int, sp span, buf [][]int32) ([][]int32, bool)) ([][]int32, bool) {
+	bufs := pool.GetSpans(len(spans))
+	var aborted atomic.Bool
+	runSpans(spans, func(si int, sp span) {
+		buf, ok := fill(si, sp, pool.GetTuples(0))
+		bufs[si] = buf
+		if !ok {
+			aborted.Store(true)
+		}
+	})
+	ok := !aborted.Load()
+	if ok {
+		for _, b := range bufs {
+			dst = append(dst, b...)
+		}
+	}
+	for si := range bufs {
+		pool.PutTuples(bufs[si])
+		bufs[si] = nil
+	}
+	pool.PutSpans(bufs)
+	return dst, ok
+}
+
 // filterRows evaluates preds over rows [0, nrows) and returns the
 // matching row ids as single-column tuples, in row order. Filtering runs
 // the vectorized block kernels with zone-map pruning (kernels.go) unless
@@ -77,6 +111,11 @@ func runSpans(spans []span, fn func(i int, s span)) {
 // read-only and shared across workers. Every partition (and the serial
 // path) checks ctx cooperatively, so a canceled query stops scanning
 // within cancelCheckRows rows per worker.
+//
+// This is the reference evaluator's scan: its output relations are
+// retained for the whole run with no release hook, so it deliberately
+// passes a nil pool and nil arena chunks — plain allocation, the
+// executable specification the pooled pipeline is tested against.
 func (e *Executor) filterRows(ctx context.Context, nrows int, cols []*data.Column, preds []query.Pred) ([][]int32, error) {
 	var bf *blockFilter
 	if !e.NoVec {
@@ -85,7 +124,7 @@ func (e *Executor) filterRows(ctx context.Context, nrows int, cols []*data.Colum
 	w := e.workers()
 	if w == 1 || nrows < parallelMinRows {
 		if bf != nil {
-			out := filterSpanTuples(ctx, bf, 0, nrows)
+			out := filterSpanTuples(ctx, bf, 0, nrows, nil, nil, nil)
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
@@ -104,30 +143,24 @@ func (e *Executor) filterRows(ctx context.Context, nrows int, cols []*data.Colum
 		}
 		return out, nil
 	}
-	spans := splitSpans(nrows, w)
-	bufs := make([][][]int32, len(spans))
-	if bf != nil {
-		runSpans(spans, func(si int, s span) {
-			bufs[si] = filterSpanTuples(ctx, bf, s.lo, s.hi)
-		})
-	} else {
-		runSpans(spans, func(si int, s span) {
-			var buf [][]int32
-			for i := s.lo; i < s.hi; i++ {
-				if (i-s.lo)%cancelCheckRows == 0 && ctx.Err() != nil {
-					return // partial buffer discarded below
-				}
-				if matchesAll(cols, preds, i) {
-					buf = append(buf, []int32{int32(i)})
-				}
+	out, _ := collectSpans(nil, splitSpans(nrows, w), nil, func(si int, sp span, buf [][]int32) ([][]int32, bool) {
+		if bf != nil {
+			return filterSpanTuples(ctx, bf, sp.lo, sp.hi, buf, nil, nil), true
+		}
+		for i := sp.lo; i < sp.hi; i++ {
+			if (i-sp.lo)%cancelCheckRows == 0 && ctx.Err() != nil {
+				return buf, true // partial buffer discarded by the ctx check below
 			}
-			bufs[si] = buf
-		})
-	}
+			if matchesAll(cols, preds, i) {
+				buf = append(buf, []int32{int32(i)})
+			}
+		}
+		return buf, true
+	})
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return mergeSpanBuffers(bufs), nil
+	return out, nil
 }
 
 // probeHash runs the probe phase of a hash join over probe.Tuples against
@@ -173,24 +206,21 @@ func (e *Executor) probeHash(ctx context.Context, probe, build *Relation, ht map
 		return out, false, nil
 	}
 
-	spans := splitSpans(probe.Len(), w)
-	bufs := make([][][]int32, len(spans))
 	var exceeded atomic.Bool
-	runSpans(spans, func(si int, s span) {
-		var buf [][]int32
-		for i := s.lo; i < s.hi; i++ {
+	out, ok := collectSpans(nil, splitSpans(probe.Len(), w), nil, func(si int, sp span, buf [][]int32) ([][]int32, bool) {
+		for i := sp.lo; i < sp.hi; i++ {
 			buf = emit(probe.Tuples[i], buf)
 			// A single partition past the cap already implies the total is
 			// past it; bail early instead of materializing more.
 			if len(buf) > limit {
 				exceeded.Store(true)
-				return
+				return buf, false
 			}
 			if i%1024 == 0 && (exceeded.Load() || ctx.Err() != nil) {
-				return
+				return buf, false
 			}
 		}
-		bufs[si] = buf
+		return buf, true
 	})
 	if err := ctx.Err(); err != nil {
 		return nil, false, err
@@ -198,26 +228,14 @@ func (e *Executor) probeHash(ctx context.Context, probe, build *Relation, ht map
 	if exceeded.Load() {
 		return nil, true, nil
 	}
-	total := 0
-	for _, b := range bufs {
-		total += len(b)
-	}
-	if total > limit {
+	if len(out) > limit {
 		return nil, true, nil
 	}
-	return mergeSpanBuffers(bufs), false, nil
-}
-
-// mergeSpanBuffers concatenates per-span output buffers in span order,
-// preserving the serial iteration order.
-func mergeSpanBuffers(bufs [][][]int32) [][]int32 {
-	total := 0
-	for _, b := range bufs {
-		total += len(b)
+	if !ok {
+		// Neither canceled nor exceeded, yet a worker aborted: impossible
+		// by construction, but fail closed as a cap error rather than
+		// returning a silently truncated result.
+		return nil, true, nil
 	}
-	out := make([][]int32, 0, total)
-	for _, b := range bufs {
-		out = append(out, b...)
-	}
-	return out
+	return out, false, nil
 }

@@ -28,21 +28,51 @@ func TestSplitSpansCoverAndOrder(t *testing.T) {
 	}
 }
 
-func TestMergeSpanBuffersPreservesOrder(t *testing.T) {
-	bufs := [][][]int32{
-		{{1}, {2}},
-		nil,
-		{{3}},
-		{{4}, {5}, {6}},
-	}
-	out := mergeSpanBuffers(bufs)
-	if len(out) != 6 {
-		t.Fatalf("merged %d tuples, want 6", len(out))
-	}
-	for i, tup := range out {
-		if tup[0] != int32(i+1) {
-			t.Fatalf("position %d holds %v, want [%d]", i, tup, i+1)
+// TestCollectSpansPreservesOrder pins the span-buffer concatenation
+// contract: per-span output lands in dst in span order (the serial
+// iteration order), with and without a pool.
+func TestCollectSpansPreservesOrder(t *testing.T) {
+	for _, pool := range []*BatchPool{nil, NewBatchPool()} {
+		spans := []span{{0, 2}, {2, 2}, {2, 3}, {3, 6}}
+		out, ok := collectSpans(pool, spans, [][]int32{{0}}, func(si int, sp span, buf [][]int32) ([][]int32, bool) {
+			for i := sp.lo; i < sp.hi; i++ {
+				buf = append(buf, []int32{int32(i + 1)})
+			}
+			return buf, true
+		})
+		if !ok {
+			t.Fatal("collectSpans aborted without an aborting fill")
 		}
+		if len(out) != 7 {
+			t.Fatalf("collected %d tuples, want 7", len(out))
+		}
+		for i, tup := range out {
+			if tup[0] != int32(i) {
+				t.Fatalf("position %d holds %v, want [%d]", i, tup, i)
+			}
+		}
+		if pool != nil && pool.InUse() != 0 {
+			t.Fatalf("pool reports %d buffers in use after collectSpans", pool.InUse())
+		}
+	}
+}
+
+// TestCollectSpansAbortLeavesDstUnchanged pins the abort contract: any
+// fill returning ok=false discards every span's output.
+func TestCollectSpansAbortLeavesDstUnchanged(t *testing.T) {
+	pool := NewBatchPool()
+	dst := [][]int32{{7}}
+	out, ok := collectSpans(pool, []span{{0, 1}, {1, 2}}, dst, func(si int, sp span, buf [][]int32) ([][]int32, bool) {
+		return append(buf, []int32{int32(sp.lo)}), si != 1
+	})
+	if ok {
+		t.Fatal("collectSpans reported ok despite an aborting fill")
+	}
+	if len(out) != 1 || out[0][0] != 7 {
+		t.Fatalf("dst changed on abort: %v", out)
+	}
+	if pool.InUse() != 0 {
+		t.Fatalf("pool reports %d buffers in use after abort", pool.InUse())
 	}
 }
 

@@ -1,0 +1,298 @@
+// Pool-contract tests: byte-identity of the pooled pipeline (with the
+// buffered exchange) against the reference evaluator, leak accounting,
+// debug-pool misuse detection, and shared-pool concurrency.
+package exec
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPooledPipelineIdentitySweep is the PR-9 identity contract: pooling
+// plus the buffered exchange must keep Count, Value (bit pattern) and the
+// full CostStats byte-identical to ReferenceRun at every worker count ×
+// batch size × shard fan-out, pooled and unpooled — including the second,
+// steady-state execution that actually recycles buffers. Every pooled run
+// uses a debug pool, so double puts and use-after-put surface here too.
+func TestPooledPipelineIdentitySweep(t *testing.T) {
+	cat := shardCatalog()
+	for qi, q := range shardQueries() {
+		refPlan, err := CanonicalPlan(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := New(cat).ReferenceRun(context.Background(), q, refPlan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, shards := range []int{1, 4} {
+			for _, workers := range []int{1, 2, 8} {
+				for _, batch := range []int{0, 1, 64} {
+					for _, noPool := range []bool{false, true} {
+						name := fmt.Sprintf("q%d/shards=%d/workers=%d/batch=%d/nopool=%v", qi, shards, workers, batch, noPool)
+						ex := New(cat)
+						ex.Workers = workers
+						ex.BatchSize = batch
+						ex.NoPool = noPool
+						dbg := NewDebugBatchPool()
+						if !noPool {
+							ex.SetPool(dbg)
+						}
+						for run := 0; run < 2; run++ {
+							res, err := ex.RunCtx(context.Background(), q, shardPlan(t, q, shards))
+							if err != nil {
+								t.Fatalf("%s run %d: %v", name, run, err)
+							}
+							if res.Count != ref.Count || math.Float64bits(res.Value) != math.Float64bits(ref.Value) {
+								t.Fatalf("%s run %d: result %d/%v, reference %d/%v", name, run, res.Count, res.Value, ref.Count, ref.Value)
+							}
+							if res.Stats != ref.Stats {
+								t.Fatalf("%s run %d: stats %+v, reference %+v", name, run, res.Stats, ref.Stats)
+							}
+						}
+						if !noPool {
+							if n := dbg.InUse(); n != 0 {
+								t.Fatalf("%s: %d pooled buffers still outstanding after Close", name, n)
+							}
+							if mis := dbg.Misuse(); len(mis) != 0 {
+								t.Fatalf("%s: pool contract violations: %v", name, mis)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPooledExchangeIdentity pins the exchange bisection flags: with
+// Workers > 1, NoExchange on/off must be invisible to results and stats.
+func TestPooledExchangeIdentity(t *testing.T) {
+	cat := shardCatalog()
+	q := shardQueries()[3]
+	refPlan, err := CanonicalPlan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := New(cat).ReferenceRun(context.Background(), q, refPlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, noExchange := range []bool{false, true} {
+		ex := New(cat)
+		ex.Workers = 4
+		ex.NoExchange = noExchange
+		res, err := ex.RunCtx(context.Background(), q, shardPlan(t, q, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Count != ref.Count || math.Float64bits(res.Value) != math.Float64bits(ref.Value) || res.Stats != ref.Stats {
+			t.Fatalf("noexchange=%v drifted: %+v vs reference %+v", noExchange, res, ref)
+		}
+	}
+}
+
+// TestDebugPoolDetectsDoublePut: returning the same buffer twice is
+// recorded (not panicked) and the duplicate is refused.
+func TestDebugPoolDetectsDoublePut(t *testing.T) {
+	p := NewDebugBatchPool()
+	b := p.GetTuples(0)
+	b = append(b, []int32{1})
+	p.PutTuples(b)
+	p.PutTuples(b)
+	mis := p.Misuse()
+	if len(mis) != 1 {
+		t.Fatalf("misuse = %v, want exactly one double-put record", mis)
+	}
+	s := p.GetSel(0)
+	s = append(s, 7)
+	p.PutSel(s)
+	p.PutSel(s)
+	if mis := p.Misuse(); len(mis) != 2 {
+		t.Fatalf("misuse = %v, want a second record for the selection vector", mis)
+	}
+}
+
+// TestDebugPoolDetectsUseAfterPut: a stale write through a retained
+// reference while the buffer sits in the pool is caught by the poison
+// check on a later Get. Under -race, sync.Pool deliberately drops puts at
+// random, so each case retries the put/write/get cycle until the stale
+// buffer actually comes back.
+func TestDebugPoolDetectsUseAfterPut(t *testing.T) {
+	p := NewDebugBatchPool()
+	detected := false
+	for i := 0; i < 200 && !detected; i++ {
+		b := p.GetTuples(0)
+		b = append(b, []int32{1}, []int32{2})
+		p.PutTuples(b)
+		b[0] = []int32{99} // stale write through the retained header
+		_ = p.GetTuples(0)
+		detected = len(p.Misuse()) > 0
+	}
+	if !detected {
+		t.Fatal("stale tuple-buffer write never detected")
+	}
+
+	p2 := NewDebugBatchPool()
+	detected = false
+	for i := 0; i < 200 && !detected; i++ {
+		s := p2.GetSel(0)
+		s = append(s, 1, 2, 3)
+		p2.PutSel(s)
+		s[1] = 42
+		_ = p2.GetSel(0)
+		detected = len(p2.Misuse()) > 0
+	}
+	if !detected {
+		t.Fatal("stale selection-vector write never detected")
+	}
+}
+
+// TestDebugPoolCleanCycle: a well-behaved get/put cycle records nothing.
+func TestDebugPoolCleanCycle(t *testing.T) {
+	p := NewDebugBatchPool()
+	for i := 0; i < 3; i++ {
+		b := p.GetTuples(0)
+		b = append(b, []int32{int32(i)})
+		s := p.GetSel(0)
+		s = append(s, int32(i))
+		k := p.GetKeys(0)
+		k = append(k, uint64(i))
+		sp := p.GetSpans(4)
+		sp[0] = b
+		p.PutSpans(sp)
+		p.PutKeys(k)
+		p.PutSel(s)
+		p.PutTuples(b)
+	}
+	if n := p.InUse(); n != 0 {
+		t.Fatalf("InUse = %d after balanced cycles", n)
+	}
+	if mis := p.Misuse(); len(mis) != 0 {
+		t.Fatalf("misuse on clean cycle: %v", mis)
+	}
+}
+
+// TestPoolNilSafety: the nil pool (the NoPool path) must accept every
+// call and report nothing outstanding.
+func TestPoolNilSafety(t *testing.T) {
+	var p *BatchPool
+	b := p.GetTuples(8)
+	b = append(b, []int32{1})
+	p.PutTuples(b)
+	p.PutTuples(nil)
+	p.PutSel(p.GetSel(8))
+	p.PutSpans(p.GetSpans(3))
+	p.PutKeys(p.GetKeys(8))
+	p.putSlab(p.getSlab())
+	if p.InUse() != 0 || p.Misuse() != nil {
+		t.Fatal("nil pool must account nothing")
+	}
+}
+
+// TestPoolSharedAcrossConcurrentRuns exercises one pool under concurrent
+// executors (the serving-layer shape) — run with -race. Each goroutine
+// gets its own plan tree; results must match the reference and the pool
+// must drain to zero.
+func TestPoolSharedAcrossConcurrentRuns(t *testing.T) {
+	cat := shardCatalog()
+	qs := shardQueries()
+	refs := make([]*Result, len(qs))
+	for i, q := range qs {
+		p, err := CanonicalPlan(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if refs[i], err = New(cat).ReferenceRun(context.Background(), q, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pool := NewBatchPool()
+	var wg sync.WaitGroup
+	errc := make(chan error, 32)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				qi := (g + i) % len(qs)
+				ex := New(cat)
+				ex.Workers = 1 + g%4
+				ex.SetPool(pool)
+				p, err := CanonicalPlan(qs[qi])
+				if err != nil {
+					errc <- err
+					return
+				}
+				res, err := ex.RunCtx(context.Background(), qs[qi], p)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if res.Count != refs[qi].Count || res.Stats != refs[qi].Stats {
+					errc <- fmt.Errorf("goroutine %d q%d drifted: %+v vs %+v", g, qi, res, refs[qi])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	if n := pool.InUse(); n != 0 {
+		t.Fatalf("%d buffers outstanding after all runs closed", n)
+	}
+}
+
+// TestPoolNoLeakOnCancellation: canceled runs — immediately and mid-
+// flight — must still return every buffer and join every exchange
+// goroutine.
+func TestPoolNoLeakOnCancellation(t *testing.T) {
+	cat := shardCatalog()
+	q := shardQueries()[3]
+	before := runtime.NumGoroutine()
+	for _, delay := range []time.Duration{0, 200 * time.Microsecond} {
+		for i := 0; i < 5; i++ {
+			ex := New(cat)
+			ex.Workers = 4
+			dbg := NewDebugBatchPool()
+			ex.SetPool(dbg)
+			p, err := CanonicalPlan(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			if delay == 0 {
+				cancel()
+			} else {
+				time.AfterFunc(delay, cancel)
+			}
+			_, runErr := ex.RunCtx(ctx, q, p)
+			cancel()
+			// Whether the run finished or aborted, the pool must drain.
+			if n := dbg.InUse(); n != 0 {
+				t.Fatalf("delay=%v iter=%d err=%v: %d buffers outstanding", delay, i, runErr, n)
+			}
+			if mis := dbg.Misuse(); len(mis) != 0 {
+				t.Fatalf("delay=%v iter=%d: misuse %v", delay, i, mis)
+			}
+		}
+	}
+	// Exchange producers must be joined, not leaked.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines grew from %d to %d after canceled runs", before, runtime.NumGoroutine())
+}

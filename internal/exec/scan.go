@@ -24,16 +24,21 @@ type seqScanOp struct {
 	e    *Executor
 	q    *query.Query
 	node *plan.Node
+	pool *BatchPool
 
 	ctx   context.Context
 	cols  []*data.Column
 	preds []query.Pred
 	nrows int
 	bf    *blockFilter // compiled vectorized filter; nil under NoVec
-	sel   []int32      // reusable selection vector for the serial path
+	sel   []int32      // pooled selection vector for the serial path
+
+	arena  tupleArena   // slab storage behind every tuple this scan emits
+	chunk  arenaChunk   // serial-path carving handle
+	chunks []arenaChunk // one carving handle per span worker
 
 	cursor  int       // next unread input row
-	pending [][]int32 // filtered tuples awaiting emission
+	pending [][]int32 // pooled buffer of filtered tuples awaiting emission
 	pendIdx int
 	done    bool
 	out     Batch
@@ -63,6 +68,12 @@ func (s *seqScanOp) Open(ctx context.Context) error {
 		s.bf = newBlockFilter(cols, s.preds, s.nrows)
 		s.tel.BlocksTotal, s.tel.BlocksSkipped = s.bf.blocks()
 	}
+	if s.pool != nil {
+		s.arena.pool = s.pool
+		s.chunk.a = &s.arena
+	}
+	s.sel = s.pool.GetSel(0)
+	s.pending = s.pool.GetTuples(0)
 	s.tel.RowsIn = int64(s.nrows)
 	s.tel.tuplesRead = int64(s.nrows)
 	// Charges are analytic over the full table: pruned blocks still pay
@@ -118,7 +129,7 @@ func (s *seqScanOp) fillSerial() error {
 				}
 			}
 			if matchesAll(s.cols, s.preds, s.cursor) {
-				s.pending = append(s.pending, []int32{int32(s.cursor)})
+				s.pending = append(s.pending, s.chunk.one(int32(s.cursor)))
 			}
 			s.cursor++
 		}
@@ -137,7 +148,7 @@ func (s *seqScanOp) fillSerial() error {
 		}
 		if s.bf.pruned == nil || !s.bf.pruned[b] {
 			s.sel = s.bf.filterRange(int32(s.cursor), int32(end), s.sel[:0])
-			s.pending = appendTuples(s.pending, s.sel)
+			s.pending = appendTuples(s.pending, s.sel, &s.chunk)
 		}
 		s.cursor = end
 	}
@@ -151,33 +162,43 @@ func (s *seqScanOp) fillParallel(w int) error {
 			hi = s.nrows
 		}
 		spans := splitSpans(hi-s.cursor, w)
-		bufs := make([][][]int32, len(spans))
+		s.ensureChunks(len(spans))
 		lo := s.cursor
-		if s.bf != nil {
-			runSpans(spans, func(si int, sp span) {
-				bufs[si] = filterSpanTuples(s.ctx, s.bf, lo+sp.lo, lo+sp.hi)
-			})
-		} else {
-			runSpans(spans, func(si int, sp span) {
-				var buf [][]int32
-				for i := lo + sp.lo; i < lo+sp.hi; i++ {
-					if (i-lo-sp.lo)%cancelCheckRows == 0 && s.ctx.Err() != nil {
-						return // partial buffer discarded by the ctx check below
-					}
-					if matchesAll(s.cols, s.preds, i) {
-						buf = append(buf, []int32{int32(i)})
-					}
+		s.pending, _ = collectSpans(s.pool, spans, s.pending, func(si int, sp span, buf [][]int32) ([][]int32, bool) {
+			if s.bf != nil {
+				return filterSpanTuples(s.ctx, s.bf, lo+sp.lo, lo+sp.hi, buf, s.pool, &s.chunks[si]), true
+			}
+			for i := lo + sp.lo; i < lo+sp.hi; i++ {
+				if (i-lo-sp.lo)%cancelCheckRows == 0 && s.ctx.Err() != nil {
+					return buf, true // partial buffer discarded by the ctx check below
 				}
-				bufs[si] = buf
-			})
-		}
+				if matchesAll(s.cols, s.preds, i) {
+					buf = append(buf, s.chunks[si].one(int32(i)))
+				}
+			}
+			return buf, true
+		})
 		if err := s.ctx.Err(); err != nil {
 			return err
 		}
-		s.pending = append(s.pending, mergeSpanBuffers(bufs)...)
 		s.cursor = hi
 	}
 	return nil
+}
+
+// ensureChunks sizes the per-span carving handles; chunk slab remainders
+// persist across fill segments, so each worker index keeps carving where
+// it left off.
+func (s *seqScanOp) ensureChunks(n int) {
+	if len(s.chunks) >= n {
+		return
+	}
+	s.chunks = make([]arenaChunk, n)
+	if s.pool != nil {
+		for i := range s.chunks {
+			s.chunks[i].a = &s.arena
+		}
+	}
 }
 
 func (s *seqScanOp) finish() {
@@ -186,7 +207,22 @@ func (s *seqScanOp) finish() {
 	s.node.TrueCard = float64(s.tel.RowsOut)
 }
 
-func (s *seqScanOp) Close() error            { s.pending, s.sel, s.out.Tuples = nil, nil, nil; return nil }
+// Close returns every pooled buffer and releases the tuple arena. Safe to
+// call twice: Put(nil) is a no-op and release is idempotent. The emitted
+// tuples themselves are arena-backed, so the arena is only released here —
+// after the consumer above has closed and dropped its references.
+func (s *seqScanOp) Close() error {
+	s.pool.PutTuples(s.pending)
+	s.pool.PutSel(s.sel)
+	s.pending, s.sel, s.out.Tuples = nil, nil, nil
+	s.chunk.reset()
+	for i := range s.chunks {
+		s.chunks[i].reset()
+	}
+	s.chunks = nil
+	s.arena.release()
+	return nil
+}
 func (s *seqScanOp) Telemetry() *OpTelemetry { return &s.tel }
 func (s *seqScanOp) Schema() []string        { return []string{s.node.Alias} }
 func (s *seqScanOp) Children() []Operator    { return nil }
@@ -197,13 +233,17 @@ type indexScanOp struct {
 	e    *Executor
 	q    *query.Query
 	node *plan.Node
+	pool *BatchPool
 
 	ctx  context.Context
 	rows []int32
 	cols []*data.Column
 	rest []query.Pred
 	bf   *blockFilter // residual-filter kernels; nil under NoVec
-	sel  []int32      // reusable selection vector
+	sel  []int32      // pooled selection vector
+
+	arena tupleArena // slab storage behind emitted tuples
+	chunk arenaChunk
 
 	cursor int
 	done   bool
@@ -255,6 +295,12 @@ func (s *indexScanOp) Open(ctx context.Context) error {
 		// apply (no prune bitmap is built).
 		s.bf = &blockFilter{preds: compilePreds(cols, s.rest)}
 	}
+	if s.pool != nil {
+		s.arena.pool = s.pool
+		s.chunk.a = &s.arena
+	}
+	s.sel = s.pool.GetSel(0)
+	s.out.Tuples = s.pool.GetTuples(0)
 	s.tel.RowsIn = int64(len(s.rows))
 	s.tel.tuplesRead = int64(len(s.rows))
 	s.tel.indexLookups = 1
@@ -287,7 +333,7 @@ func (s *indexScanOp) Next() (*Batch, error) {
 				take = rem
 			}
 			s.sel = append(s.sel[:0], s.rows[s.cursor:s.cursor+take]...)
-			s.out.Tuples = appendTuples(s.out.Tuples, s.bf.refineIDs(s.sel))
+			s.out.Tuples = appendTuples(s.out.Tuples, s.bf.refineIDs(s.sel), &s.chunk)
 			s.cursor += take
 		}
 	} else {
@@ -300,7 +346,7 @@ func (s *indexScanOp) Next() (*Batch, error) {
 			r := s.rows[s.cursor]
 			s.cursor++
 			if matchesAll(s.cols, s.rest, int(r)) {
-				s.out.Tuples = append(s.out.Tuples, []int32{r})
+				s.out.Tuples = append(s.out.Tuples, s.chunk.one(r))
 			}
 		}
 	}
@@ -315,7 +361,16 @@ func (s *indexScanOp) Next() (*Batch, error) {
 	return &s.out, nil
 }
 
-func (s *indexScanOp) Close() error            { s.rows, s.sel, s.out.Tuples = nil, nil, nil; return nil }
+// Close returns the pooled selection vector and output buffer and releases
+// the arena. s.rows is the index's posting list, not ours to recycle.
+func (s *indexScanOp) Close() error {
+	s.pool.PutSel(s.sel)
+	s.pool.PutTuples(s.out.Tuples)
+	s.rows, s.sel, s.out.Tuples = nil, nil, nil
+	s.chunk.reset()
+	s.arena.release()
+	return nil
+}
 func (s *indexScanOp) Telemetry() *OpTelemetry { return &s.tel }
 func (s *indexScanOp) Schema() []string        { return []string{s.node.Alias} }
 func (s *indexScanOp) Children() []Operator    { return nil }

@@ -50,6 +50,11 @@ type ShardBackend interface {
 type LocalBackend struct {
 	cat   *data.Catalog
 	noVec bool
+	// pool/noPool are set by the owning executor's plan build (same
+	// package) so shard engines draw from the parent's buffer pool instead
+	// of each creating their own.
+	pool   *BatchPool
+	noPool bool
 
 	mu      sync.Mutex
 	engines map[int]*Executor
@@ -69,7 +74,10 @@ func (b *LocalBackend) RunShard(ctx context.Context, q *query.Query, scan *plan.
 		// Workers stays 1: parallelism comes from the shard fan-out, and a
 		// serial shard engine keeps per-shard output order trivially
 		// deterministic.
-		eng = &Executor{Cat: b.cat, NoVec: b.noVec, Workers: 1}
+		eng = &Executor{Cat: b.cat, NoVec: b.noVec, Workers: 1, NoPool: b.noPool}
+		if b.pool != nil {
+			eng.SetPool(b.pool)
+		}
 		b.engines[shard] = eng
 	}
 	b.mu.Unlock()
@@ -108,7 +116,11 @@ func (e *Executor) ScanShard(ctx context.Context, scan *plan.Node, shard, of int
 		bf = newBlockFilter(cols, preds, nrows)
 	}
 	res := &ShardResult{}
-	var sel []int32
+	// res.Rows stays plainly allocated — the exchange operator retains it
+	// for the whole run — but the per-block selection vector is pooled.
+	pool := e.batchPool()
+	sel := pool.GetSel(0)
+	defer func() { pool.PutSel(sel) }()
 	nblocks := data.ZoneBlocks(nrows)
 	for b := shard; b < nblocks; b += of {
 		if err := ctx.Err(); err != nil {
@@ -201,9 +213,12 @@ type mergeOp struct {
 	q    *query.Query
 	node *plan.Node
 	exs  []*exchangeOp
+	pool *BatchPool
 
 	ctx     context.Context
 	cursors []int
+	arena   tupleArena // slab storage behind emitted tuples
+	chunk   arenaChunk
 	done    bool
 	out     Batch
 	tel     OpTelemetry
@@ -250,6 +265,11 @@ func (m *mergeOp) Open(ctx context.Context) error {
 		}
 	}
 	m.cursors = make([]int, len(m.exs))
+	if m.pool != nil {
+		m.arena.pool = m.pool
+		m.chunk.a = &m.arena
+	}
+	m.out.Tuples = m.pool.GetTuples(0)
 	return nil
 }
 
@@ -293,7 +313,7 @@ func (m *mergeOp) Next() (*Batch, error) {
 		for end < len(rows) && rows[end] < blockEnd && len(m.out.Tuples)+(end-cur) < bs {
 			end++
 		}
-		m.out.Tuples = appendTuples(m.out.Tuples, rows[cur:end])
+		m.out.Tuples = appendTuples(m.out.Tuples, rows[cur:end], &m.chunk)
 		m.cursors[best] = end
 	}
 	if len(m.out.Tuples) == 0 {
@@ -311,7 +331,10 @@ func (m *mergeOp) Close() error {
 	for _, x := range m.exs {
 		x.Close()
 	}
+	m.pool.PutTuples(m.out.Tuples)
 	m.out.Tuples, m.cursors = nil, nil
+	m.chunk.reset()
+	m.arena.release()
 	return nil
 }
 

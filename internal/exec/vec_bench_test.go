@@ -78,7 +78,7 @@ func BenchmarkFilterKernelVec(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		out := filterSpanTuples(context.Background(), bf, 0, benchRows)
+		out := filterSpanTuples(context.Background(), bf, 0, benchRows, nil, nil, nil)
 		_ = out
 	}
 }

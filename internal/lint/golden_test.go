@@ -12,6 +12,7 @@ import (
 	"lqo/internal/lint/guardsafe"
 	"lqo/internal/lint/keycanon"
 	"lqo/internal/lint/lintignore"
+	"lqo/internal/lint/poolret"
 )
 
 // Each analyzer has a golden fixture under testdata/src containing both
@@ -48,6 +49,10 @@ func TestKeyCanon(t *testing.T) {
 
 func TestLintIgnore(t *testing.T) {
 	analysistest.Run(t, "testdata/src", lintignore.Analyzer, "lintignore_a")
+}
+
+func TestPoolRet(t *testing.T) {
+	analysistest.Run(t, "testdata/src", poolret.Analyzer, "poolret_a")
 }
 
 // TestSuppression runs floateq over a fixture whose violations are

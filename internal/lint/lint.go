@@ -25,6 +25,7 @@ import (
 	"lqo/internal/lint/keycanon"
 	"lqo/internal/lint/lintignore"
 	"lqo/internal/lint/load"
+	"lqo/internal/lint/poolret"
 )
 
 // Analyzers returns the registered suite in diagnostic-name order.
@@ -38,6 +39,7 @@ func Analyzers() []*analysis.Analyzer {
 		guardsafe.Analyzer,
 		keycanon.Analyzer,
 		lintignore.Analyzer,
+		poolret.Analyzer,
 	}
 }
 

@@ -31,6 +31,7 @@ var Known = map[string]bool{
 	"floateq":     true,
 	"keycanon":    true,
 	"lintignore":  true,
+	"poolret":     true,
 }
 
 func run(pass *analysis.Pass) error {

@@ -1,0 +1,124 @@
+// Package poolret enforces the PR-9 buffer-pool contract: an operator
+// that carries a *BatchPool must draw its hot-path buffers from the pool,
+// not allocate them with make. A make of a batch buffer ([][]int32),
+// selection vector ([]int32), span-buffer array ([][][]int32) or key
+// scratch ([]uint64) inside a pooled operator's streaming methods silently
+// reverts that path to per-call allocation — the pool keeps working, the
+// allocs/row regression just never shows up until a profile does.
+//
+// The check fires on methods (and closures inside them) of any struct
+// type holding a BatchPool field, except Open and Close — the sanctioned
+// places for cold-path setup and teardown allocation. Documented cold
+// paths opt out with //lqolint:ignore poolret <reason>.
+package poolret
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"lqo/internal/lint/analysis"
+)
+
+// Analyzer is the pool-contract checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolret",
+	Doc: "methods of pool-carrying operators must get batch/selection/span/key " +
+		"buffers from the BatchPool, not make them (Open/Close exempt)",
+	Run: run,
+}
+
+// poolPkgs are the packages whose operators carry pools.
+var poolPkgs = []string{
+	"lqo/internal/exec",
+}
+
+func applies(pkgPath string) bool {
+	if !strings.HasPrefix(pkgPath, "lqo/") {
+		return true
+	}
+	for _, p := range poolPkgs {
+		if pkgPath == p {
+			return true
+		}
+	}
+	return false
+}
+
+// pooledTypes are the buffer shapes the BatchPool serves; a make of one
+// of these inside a pooled operator bypasses the pool.
+var pooledTypes = map[string]bool{
+	"[]int32":     true,
+	"[][]int32":   true,
+	"[][][]int32": true,
+	"[]uint64":    true,
+}
+
+// isBatchPool reports whether t (after unwrapping one pointer) is a named
+// type called BatchPool. The name alone identifies it: fixtures declare
+// their own BatchPool stand-in.
+func isBatchPool(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Name() == "BatchPool"
+}
+
+// carriesPool reports whether t (the method receiver's type) is a struct
+// holding a BatchPool field — the mark of a pooled operator. BatchPool
+// itself is not its own carrier, so the pool's cold-path allocations stay
+// legal.
+func carriesPool(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isBatchPool(st.Field(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	if !applies(pass.Pkg.Path()) {
+		return nil
+	}
+	info := pass.TypesInfo
+	pass.Inspect(func(n ast.Node) bool {
+		fd, ok := n.(*ast.FuncDecl)
+		if !ok || fd.Body == nil || fd.Recv == nil || len(fd.Recv.List) == 0 {
+			return true
+		}
+		if name := fd.Name.Name; name == "Open" || name == "Close" {
+			return true
+		}
+		if !carriesPool(info.TypeOf(fd.Recv.List[0].Type)) {
+			return true
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !analysis.IsBuiltinCall(info, call, "make") {
+				return true
+			}
+			tv, ok := info.Types[ast.Expr(call)]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if ts := tv.Type.String(); pooledTypes[ts] {
+				pass.Reportf(call.Pos(), "make(%s) in pooled operator method %s bypasses the BatchPool; Get it from the pool (or //lqolint:ignore poolret <reason> for a documented cold path)", ts, fd.Name.Name)
+			}
+			return true
+		})
+		return true
+	})
+	return nil
+}

@@ -23,6 +23,19 @@ type Stats struct {
 	hits atomic.Int64
 }
 
+// BatchPool mimics the executor's buffer pool.
+type BatchPool struct{}
+
+// scanOp mimics a pooled operator.
+type scanOp struct {
+	pool *BatchPool
+}
+
+// Next allocates a batch buffer instead of drawing from the pool.
+func (s *scanOp) Next() [][]int32 {
+	return make([][]int32, 0, 1024) // poolret: pooled operator bypasses its BatchPool
+}
+
 // Key builds a cache key by raw concatenation.
 func Key(alias, table string) string {
 	return alias + "." + table // keycanon: collision-prone key construction

@@ -1,0 +1,84 @@
+// Package poolret_a is the golden fixture for the poolret analyzer:
+// pooled operators (structs carrying a BatchPool field) must not make
+// batch/selection/span/key buffers outside Open and Close.
+package poolret_a
+
+// BatchPool stands in for the executor's buffer pool.
+type BatchPool struct{}
+
+// GetTuples allocates inside the pool itself — legal: BatchPool is not
+// its own carrier.
+func (p *BatchPool) GetTuples() [][]int32 { return make([][]int32, 0, 16) }
+
+// GetSel is the pool's selection-vector cold path.
+func (p *BatchPool) GetSel() []int32 { return make([]int32, 0, 16) }
+
+// scanOp is a pooled operator.
+type scanOp struct {
+	pool    *BatchPool
+	pending [][]int32
+	sel     []int32
+}
+
+// Open may allocate: cold-path setup is exempt.
+func (s *scanOp) Open() error {
+	s.pending = make([][]int32, 0, 1024)
+	s.sel = make([]int32, 0, 1024)
+	return nil
+}
+
+// Close may allocate too (teardown is exempt).
+func (s *scanOp) Close() error {
+	s.pending = make([][]int32, 0)
+	return nil
+}
+
+func (s *scanOp) Next() [][]int32 {
+	buf := make([][]int32, 0, 1024) // want `make\(\[\]\[\]int32\) in pooled operator method Next bypasses the BatchPool`
+	sel := make([]int32, 0, 64)     // want `make\(\[\]int32\) in pooled operator method Next bypasses the BatchPool`
+	_ = sel
+	counts := make([]int, 8)      // non-pooled shape: legal anywhere
+	names := make(map[string]int) // maps are not pooled
+	_, _ = counts, names
+	return buf
+}
+
+// fill's closure allocates a span-buffer array and key scratch — the
+// check descends into closures.
+func (s *scanOp) fill() {
+	run := func() {
+		bufs := make([][][]int32, 4) // want `make\(\[\]\[\]\[\]int32\) in pooled operator method fill bypasses the BatchPool`
+		keys := make([]uint64, 0, 8) // want `make\(\[\]uint64\) in pooled operator method fill bypasses the BatchPool`
+		_, _ = bufs, keys
+	}
+	run()
+}
+
+// coldPath documents its one-off allocation and suppresses the finding.
+func (s *scanOp) coldPath() []int32 {
+	//lqolint:ignore poolret oversize one-off request deliberately bypasses the pool
+	return make([]int32, 1<<20)
+}
+
+// plainOp carries no pool, so it may allocate freely.
+type plainOp struct {
+	rows [][]int32
+}
+
+func (o *plainOp) Next() [][]int32 {
+	return make([][]int32, 0, 1024)
+}
+
+// freeFill is a free function: only methods of pool carriers are checked.
+func freeFill(pool *BatchPool) [][]int32 {
+	return make([][]int32, 0, 1024)
+}
+
+// valueCarrier holds the pool by value; still a carrier.
+type valueCarrier struct {
+	pool BatchPool
+}
+
+func (v valueCarrier) refill() []int32 {
+	return make([]int32, 0, 4) // want `make\(\[\]int32\) in pooled operator method refill bypasses the BatchPool`
+}

@@ -127,6 +127,11 @@ type Server struct {
 // New assembles a server over cat using o to plan and ex to execute.
 func New(cat *data.Catalog, o *opt.Optimizer, ex *exec.Executor, cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	// Pin the executor's buffer pool for the server's lifetime so the
+	// steady-state executions of cached plans recycle one warm set of
+	// buffers across all tenants. A no-op if the caller installed a pool
+	// (or ran the executor) already.
+	ex.SetPool(exec.NewBatchPool())
 	return &Server{
 		cat:      cat,
 		opt:      o,
