@@ -39,8 +39,11 @@ vet:
 	$(GO) vet ./...
 
 # The custom invariant suite: cardclamp, guardsafe, ctxprop, atomicpub,
-# determinism, floateq, keycanon, lintignore. Exit 2 (including "matched
-# no packages") fails the build just like findings do.
+# determinism, floateq, keycanon, poolret, plus the CFG/dataflow quartet
+# bufown, gojoin, passpure, errflow, policed by lintignore. Exit 2
+# (including "matched no packages") fails the build just like findings
+# do. CI wraps this in `timeout 60`: the whole-tree run is expected to
+# finish in seconds, and a hung dataflow solve must fail, not stall CI.
 lint:
 	$(GO) run ./cmd/lqo-lint ./...
 

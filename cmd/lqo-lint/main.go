@@ -1,8 +1,11 @@
-// Command lqo-lint is the workbench's invariant multichecker: six custom
-// analyzers (cardclamp, guardsafe, ctxprop, atomicpub, determinism,
-// floateq) plus the lintignore suppression policer, run over every
-// package of the module. See DESIGN.md "Static invariants" for the
-// contract each analyzer encodes.
+// Command lqo-lint is the workbench's invariant multichecker: twelve
+// custom analyzers (cardclamp, guardsafe, ctxprop, atomicpub,
+// determinism, floateq, keycanon, poolret, bufown, gojoin, passpure,
+// errflow) plus the lintignore suppression policer, run over every
+// package of the module. The last four are path-sensitive: they build a
+// per-function CFG and run a dataflow solver (internal/lint/analysis)
+// instead of pattern-matching the AST. See DESIGN.md "Static invariants"
+// for the contract each analyzer encodes.
 //
 // Usage:
 //
@@ -10,9 +13,11 @@
 //	lqo-lint ./...      # ditto
 //	lqo-lint <dir>      # lint a stand-alone fixture package directory
 //	lqo-lint -list      # print the registered analyzers
+//	lqo-lint -json .    # one JSON diagnostic per line, suppressed included
 //
-// Exit status is 0 when clean, 1 when any diagnostic is reported, and 2
-// on usage or load errors (including matching zero packages).
+// Exit status is 0 when clean, 1 when any unsuppressed diagnostic is
+// reported, and 2 on usage or load errors (including matching zero
+// packages).
 package main
 
 import (

@@ -19,6 +19,7 @@ package exec
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -189,7 +190,7 @@ func (e *Executor) RunCtx(ctx context.Context, q *query.Query, p *plan.Node) (*R
 // per-operator telemetry — estimated-vs-actual rows, charged work and
 // wall-clock per operator — for EXPLAIN ANALYZE rendering, sub-plan
 // training labels, and optimizer feedback.
-func (e *Executor) RunAnalyze(ctx context.Context, q *query.Query, p *plan.Node) (*Result, *PlanTelemetry, error) {
+func (e *Executor) RunAnalyze(ctx context.Context, q *query.Query, p *plan.Node) (res *Result, pt *PlanTelemetry, err error) {
 	root, err := e.buildOperator(q, p)
 	if err != nil {
 		return nil, nil, err
@@ -197,11 +198,17 @@ func (e *Executor) RunAnalyze(ctx context.Context, q *query.Query, p *plan.Node)
 	// Decouple the sink from the root producer so the final join overlaps
 	// the aggregate fold (a no-op wrapper unless Workers > 1).
 	sink := newAggSink(e, q, e.stage(root))
-	if err := sink.Open(ctx); err != nil {
-		sink.Close()
-		return nil, nil, err
+	if oerr := sink.Open(ctx); oerr != nil {
+		// Close releases whatever Open managed to acquire; the Open
+		// error leads, teardown damage rides along.
+		return nil, nil, errors.Join(oerr, sink.Close())
 	}
-	defer sink.Close()
+	// A teardown failure surfaces unless an execution error already won.
+	defer func() {
+		if cerr := sink.Close(); cerr != nil && err == nil {
+			res, pt, err = nil, nil, cerr
+		}
+	}()
 	if err := sink.drain(); err != nil {
 		return nil, nil, err
 	}
@@ -213,8 +220,8 @@ func (e *Executor) RunAnalyze(ctx context.Context, q *query.Query, p *plan.Node)
 	if sink.bindErr != nil {
 		return nil, nil, sink.bindErr
 	}
-	pt := collectTelemetry(sink)
-	res := &Result{Count: sink.count, Value: sink.value(), Stats: pt.Stats()}
+	pt = collectTelemetry(sink)
+	res = &Result{Count: sink.count, Value: sink.value(), Stats: pt.Stats()}
 	return res, pt, nil
 }
 
@@ -259,6 +266,7 @@ func productExceeds(a, b, limit int) bool {
 }
 
 func concatTuple(a, b []int32) []int32 {
+	//lqolint:ignore poolret result tuples are owned by the caller's materialized batch, not returned to the pool; the reference-evaluator join path runs with a nil pool by design
 	t := make([]int32, 0, len(a)+len(b))
 	t = append(t, a...)
 	return append(t, b...)

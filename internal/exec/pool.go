@@ -406,6 +406,7 @@ type arenaChunk struct {
 // receivers and nil-arena chunks allocate plainly.
 func (c *arenaChunk) alloc(n int) []int32 {
 	if c == nil || c.a == nil || n > tupleSlabInts {
+		//lqolint:ignore poolret nil-arena (NoPool) fallback and oversized-tuple escape: both are the documented plain-allocation paths
 		return make([]int32, n)
 	}
 	if len(c.free) < n {

@@ -328,14 +328,19 @@ func (m *mergeOp) Next() (*Batch, error) {
 }
 
 func (m *mergeOp) Close() error {
+	// Every exchange is closed regardless of earlier failures; the first
+	// error wins (the rest are repeats of the same teardown).
+	var firstErr error
 	for _, x := range m.exs {
-		x.Close()
+		if err := x.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
 	m.pool.PutTuples(m.out.Tuples)
 	m.out.Tuples, m.cursors = nil, nil
 	m.chunk.reset()
 	m.arena.release()
-	return nil
+	return firstErr
 }
 
 func (m *mergeOp) Telemetry() *OpTelemetry { return &m.tel }

@@ -1,0 +1,538 @@
+// Control-flow graphs for the dataflow analyzers. BuildCFG lowers one
+// function body from go/ast into basic blocks with explicit edges for
+// branches, loops, switches, selects, labeled break/continue/goto,
+// deferred calls and panics — the shape the x/tools go/ssa + buildssa
+// stack provides, rebuilt here in miniature because the offline build
+// has no x/tools. The graph is deliberately statement-granular: a block
+// holds the ast.Nodes that execute in order, and analyzers interpret
+// them with their own transfer functions (see Dataflow in solver.go).
+//
+// Modeling decisions, chosen for sound-enough lint analyses rather than
+// compiler-grade precision:
+//
+//   - Deferred calls execute on the normal exit path: every return (and
+//     the fall-off-the-end exit) routes through a chain of the function's
+//     deferred calls in LIFO order before reaching Exit. A deferred call
+//     appears in the chain as a bare *ast.CallExpr node — the only place
+//     a bare CallExpr occurs as a block node — while the *ast.DeferStmt
+//     at the registration point marks registration only. Conditionally
+//     registered defers are over-approximated as always registered.
+//   - panic(...) statements edge to the dedicated Panic exit block
+//     without running the defer chain. Analyzers that check "on all
+//     paths out" properties inspect Exit and ignore Panic, so a resource
+//     still held when the process is dying is not a finding.
+//   - A select with no default has one edge per comm clause and none
+//     that skips the statement (it blocks until a case is ready); a
+//     switch with no default has a fall-through edge past every case.
+//   - Function literals are opaque expression nodes: their bodies are
+//     NOT inlined into the enclosing graph. Analyzers build a separate
+//     CFG per literal (the literal runs at an unknown time, so its
+//     effects must not be interleaved with the enclosing function's).
+//
+// Statements unreachable after return/break/continue/goto/panic land in
+// blocks with no predecessors; the solver only visits blocks reachable
+// from Entry, so dead code produces no facts and no findings.
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"strings"
+)
+
+// BlockKind distinguishes the synthetic blocks from plain code blocks.
+type BlockKind uint8
+
+const (
+	// BlockPlain is ordinary straight-line code.
+	BlockPlain BlockKind = iota
+	// BlockEntry is the function entry (always Blocks[0], no Nodes).
+	BlockEntry
+	// BlockExit is the single normal-return exit.
+	BlockExit
+	// BlockPanic is the exit reached by panic statements.
+	BlockPanic
+)
+
+func (k BlockKind) String() string {
+	switch k {
+	case BlockEntry:
+		return "entry"
+	case BlockExit:
+		return "exit"
+	case BlockPanic:
+		return "panic"
+	}
+	return ""
+}
+
+// Block is one basic block: Nodes execute in order, then control moves
+// to one of Succs.
+type Block struct {
+	Index int
+	Kind  BlockKind
+	// Nodes holds the statements (and branch-condition expressions) of
+	// the block in execution order. A bare *ast.CallExpr is a deferred
+	// call running on the exit path; an *ast.DeferStmt marks only the
+	// registration point.
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	Blocks []*Block
+	Entry  *Block
+	Exit   *Block
+	Panic  *Block
+}
+
+// Reachable returns the blocks reachable from Entry in reverse
+// post-order — the iteration order the solver seeds its worklist with.
+func (g *CFG) Reachable() []*Block {
+	seen := make([]bool, len(g.Blocks))
+	var post []*Block
+	var visit func(b *Block)
+	visit = func(b *Block) {
+		if seen[b.Index] {
+			return
+		}
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			visit(s)
+		}
+		post = append(post, b)
+	}
+	visit(g.Entry)
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// String renders the graph one block per line — the golden-test format:
+//
+//	b0 entry: -> b1
+//	b1: x := 0; x < n -> b2 b3
+func (g *CFG) String() string {
+	var sb strings.Builder
+	for _, b := range g.Blocks {
+		fmt.Fprintf(&sb, "b%d", b.Index)
+		if k := b.Kind.String(); k != "" {
+			sb.WriteString(" " + k)
+		}
+		sb.WriteString(":")
+		for i, n := range b.Nodes {
+			if i > 0 {
+				sb.WriteString(";")
+			}
+			sb.WriteString(" " + nodeText(n))
+		}
+		sb.WriteString(" ->")
+		for _, s := range b.Succs {
+			fmt.Fprintf(&sb, " b%d", s.Index)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// nodeText prints one node on a single line for CFG dumps.
+func nodeText(n ast.Node) string {
+	// A RangeStmt block node stands for the loop header only (the body
+	// statements live in successor blocks); print it without the body.
+	rangeHdr := false
+	if r, ok := n.(*ast.RangeStmt); ok {
+		hdr := *r
+		hdr.Body = &ast.BlockStmt{}
+		n = &hdr
+		rangeHdr = true
+	}
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, token.NewFileSet(), n); err != nil {
+		return fmt.Sprintf("<%T>", n)
+	}
+	s := buf.String()
+	s = strings.ReplaceAll(s, "\n", " ")
+	s = strings.Join(strings.Fields(s), " ")
+	if rangeHdr {
+		s = strings.TrimSpace(strings.TrimSuffix(s, "{ }"))
+	}
+	const maxLen = 60
+	if len(s) > maxLen {
+		s = s[:maxLen] + "…"
+	}
+	return s
+}
+
+// BuildCFG lowers body (a FuncDecl or FuncLit body) into a CFG. A nil
+// body (declaration without definition) yields entry -> exit.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{g: &CFG{}, labels: map[string]*labelInfo{}}
+	b.g.Entry = b.newBlock(BlockEntry)
+	b.g.Exit = b.newBlock(BlockExit)
+	b.g.Panic = b.newBlock(BlockPanic)
+	// preExit anchors the defer chain: returns and the fall-off end edge
+	// here, and the chain to Exit is appended once every defer is known.
+	b.preExit = b.newBlock(BlockPlain)
+	b.cur = b.newBlock(BlockPlain)
+	link(b.g.Entry, b.cur)
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	link(b.cur, b.preExit)
+	// Deferred calls run LIFO on the way out.
+	tail := b.preExit
+	for i := len(b.defers) - 1; i >= 0; i-- {
+		d := b.newBlock(BlockPlain)
+		d.Nodes = append(d.Nodes, b.defers[i])
+		link(tail, d)
+		tail = d
+	}
+	link(tail, b.g.Exit)
+	return b.g
+}
+
+// labelInfo tracks one label's targets. gotoB is the block the labeled
+// statement starts (goto lands here); brk/cont are set while the labeled
+// loop or switch is being built.
+type labelInfo struct {
+	gotoB *Block
+	brk   *Block
+	cont  *Block
+}
+
+type cfgBuilder struct {
+	g       *CFG
+	cur     *Block
+	preExit *Block
+	defers  []ast.Node // *ast.CallExpr, registration order
+
+	// break/continue target stacks for the innermost enclosing
+	// breakable/continuable statements.
+	breaks    []*Block
+	continues []*Block
+	labels    map[string]*labelInfo
+	// pendingLabel is the label naming the NEXT loop/switch/select
+	// statement, consumed by its builder to register break/continue
+	// targets.
+	pendingLabel string
+}
+
+func (b *cfgBuilder) newBlock(k BlockKind) *Block {
+	bl := &Block{Index: len(b.g.Blocks), Kind: k}
+	b.g.Blocks = append(b.g.Blocks, bl)
+	return bl
+}
+
+func link(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// startDead begins an unreachable block (code after return/branch).
+func (b *cfgBuilder) startDead() {
+	b.cur = b.newBlock(BlockPlain)
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// label consumes the pending label for a loop/switch/select and returns
+// it for target registration (empty when the statement is unlabeled).
+func (b *cfgBuilder) label() *labelInfo {
+	if b.pendingLabel == "" {
+		return nil
+	}
+	li := b.labels[b.pendingLabel]
+	b.pendingLabel = ""
+	return li
+}
+
+func (b *cfgBuilder) pushLoop(li *labelInfo, brk, cont *Block) {
+	b.breaks = append(b.breaks, brk)
+	b.continues = append(b.continues, cont)
+	if li != nil {
+		li.brk, li.cont = brk, cont
+	}
+}
+
+func (b *cfgBuilder) popLoop() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		li := &labelInfo{gotoB: b.newBlock(BlockPlain)}
+		b.labels[s.Label.Name] = li
+		link(b.cur, li.gotoB)
+		b.cur = li.gotoB
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.ReturnStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		link(b.cur, b.preExit)
+		b.startDead()
+
+	case *ast.BranchStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.branchTarget(s, false); t != nil {
+				link(b.cur, t)
+			}
+		case token.CONTINUE:
+			if t := b.branchTarget(s, true); t != nil {
+				link(b.cur, t)
+			}
+		case token.GOTO:
+			if s.Label != nil {
+				li := b.labels[s.Label.Name]
+				if li == nil {
+					// Forward goto: create the target now; the
+					// LabeledStmt will adopt it.
+					li = &labelInfo{gotoB: b.newBlock(BlockPlain)}
+					b.labels[s.Label.Name] = li
+				}
+				link(b.cur, li.gotoB)
+			}
+		case token.FALLTHROUGH:
+			// Handled by the switch builder (the clause's end block
+			// links to the next clause); nothing to do here.
+			return
+		}
+		b.startDead()
+
+	case *ast.DeferStmt:
+		// Registration point; the call itself lands in the exit chain.
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		b.defers = append(b.defers, s.Call)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Init)
+		}
+		b.cur.Nodes = append(b.cur.Nodes, s.Cond)
+		head := b.cur
+		join := b.newBlock(BlockPlain)
+		then := b.newBlock(BlockPlain)
+		link(head, then)
+		b.cur = then
+		b.stmtList(s.Body.List)
+		link(b.cur, join)
+		if s.Else != nil {
+			els := b.newBlock(BlockPlain)
+			link(head, els)
+			b.cur = els
+			b.stmt(s.Else)
+			link(b.cur, join)
+		} else {
+			link(head, join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		li := b.label()
+		if s.Init != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Init)
+		}
+		head := b.newBlock(BlockPlain)
+		link(b.cur, head)
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+		}
+		after := b.newBlock(BlockPlain)
+		if s.Cond != nil {
+			link(head, after)
+		}
+		cont := head
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock(BlockPlain)
+			post.Nodes = append(post.Nodes, s.Post)
+			link(post, head)
+			cont = post
+		}
+		body := b.newBlock(BlockPlain)
+		link(head, body)
+		b.pushLoop(li, after, cont)
+		b.cur = body
+		b.stmtList(s.Body.List)
+		link(b.cur, cont)
+		b.popLoop()
+		b.cur = after
+
+	case *ast.RangeStmt:
+		li := b.label()
+		head := b.newBlock(BlockPlain)
+		// The RangeStmt node itself stands for the per-iteration
+		// key/value assignment and the loop test.
+		head.Nodes = append(head.Nodes, s)
+		link(b.cur, head)
+		after := b.newBlock(BlockPlain)
+		link(head, after)
+		body := b.newBlock(BlockPlain)
+		link(head, body)
+		b.pushLoop(li, after, head)
+		b.cur = body
+		b.stmtList(s.Body.List)
+		link(b.cur, head)
+		b.popLoop()
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		li := b.label()
+		if s.Init != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Init)
+		}
+		if s.Tag != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Tag)
+		}
+		b.switchClauses(li, s.Body.List, false)
+
+	case *ast.TypeSwitchStmt:
+		li := b.label()
+		if s.Init != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Init)
+		}
+		b.cur.Nodes = append(b.cur.Nodes, s.Assign)
+		b.switchClauses(li, s.Body.List, false)
+
+	case *ast.SelectStmt:
+		li := b.label()
+		b.switchClauses(li, s.Body.List, true)
+
+	case *ast.ExprStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		if isPanicCall(s.X) {
+			link(b.cur, b.g.Panic)
+			b.startDead()
+		}
+
+	case *ast.GoStmt, *ast.AssignStmt, *ast.DeclStmt, *ast.IncDecStmt,
+		*ast.SendStmt, *ast.EmptyStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+
+	default:
+		// Unknown statement kinds (future syntax) are recorded as
+		// straight-line nodes rather than dropped.
+		if s != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s)
+		}
+	}
+}
+
+// switchClauses builds the clause fan-out shared by switch, type switch
+// and select. head is b.cur; isSelect suppresses the no-default
+// fall-through edge (a select with no default blocks until a case runs).
+func (b *cfgBuilder) switchClauses(li *labelInfo, clauses []ast.Stmt, isSelect bool) {
+	head := b.cur
+	after := b.newBlock(BlockPlain)
+	// break inside a clause exits the switch/select; continue still
+	// targets the enclosing loop, so only the break stack grows.
+	b.breaks = append(b.breaks, after)
+	if li != nil {
+		li.brk = after
+	}
+	hasDefault := false
+	blocks := make([]*Block, len(clauses))
+	var bodies [][]ast.Stmt
+	for i, c := range clauses {
+		cb := b.newBlock(BlockPlain)
+		blocks[i] = cb
+		link(head, cb)
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			for _, e := range c.List {
+				cb.Nodes = append(cb.Nodes, e)
+			}
+			bodies = append(bodies, c.Body)
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			} else {
+				cb.Nodes = append(cb.Nodes, c.Comm)
+			}
+			bodies = append(bodies, c.Body)
+		default:
+			bodies = append(bodies, nil)
+		}
+	}
+	for i := range clauses {
+		b.cur = blocks[i]
+		b.stmtList(bodies[i])
+		if ft := fallsThrough(bodies[i]); ft && i+1 < len(blocks) {
+			link(b.cur, blocks[i+1])
+		} else {
+			link(b.cur, after)
+		}
+	}
+	if !hasDefault && !isSelect {
+		link(head, after)
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.cur = after
+}
+
+// fallsThrough reports whether a case body ends in a fallthrough.
+func fallsThrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}
+
+// branchTarget resolves a break/continue to its target block, honoring
+// an explicit label.
+func (b *cfgBuilder) branchTarget(s *ast.BranchStmt, isContinue bool) *Block {
+	if s.Label != nil {
+		if li := b.labels[s.Label.Name]; li != nil {
+			if isContinue {
+				return li.cont
+			}
+			return li.brk
+		}
+		return nil
+	}
+	stack := b.breaks
+	if isContinue {
+		stack = b.continues
+	}
+	if len(stack) == 0 {
+		return nil
+	}
+	return stack[len(stack)-1]
+}
+
+// isPanicCall reports whether e is a direct panic(...) call. The builder
+// is type-free, so detection is by name; a local function shadowing
+// `panic` would over-approximate, which only adds a Panic edge.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}

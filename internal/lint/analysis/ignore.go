@@ -90,8 +90,17 @@ func Directives(fset *token.FileSet, files []*ast.File) []Directive {
 // fails with the single actionable "missing reason" finding rather than
 // both it and the original diagnostic.
 func Suppress(fset *token.FileSet, diags []Diagnostic, dirs []Directive) []Diagnostic {
+	kept, _ := Partition(fset, diags, dirs)
+	return kept
+}
+
+// Partition splits diagnostics into those that survive suppression and
+// those a directive covers, preserving order within each group. The
+// suppressed half feeds machine-readable output (lqo-lint -json) where
+// CI consumers want to see what was waived, not just what fired.
+func Partition(fset *token.FileSet, diags []Diagnostic, dirs []Directive) (kept, suppressed []Diagnostic) {
 	if len(dirs) == 0 {
-		return diags
+		return diags, nil
 	}
 	// file -> line -> directives
 	byLine := map[string]map[int][]*Directive{}
@@ -104,22 +113,23 @@ func Suppress(fset *token.FileSet, diags []Diagnostic, dirs []Directive) []Diagn
 		}
 		m[d.Line] = append(m[d.Line], d)
 	}
-	var kept []Diagnostic
 	for _, dg := range diags {
 		pos := fset.Position(dg.Pos)
-		suppressed := false
+		covered := false
 		if m := byLine[pos.Filename]; m != nil {
 			for _, line := range [2]int{pos.Line, pos.Line - 1} {
 				for _, d := range m[line] {
 					if d.Matches(dg.Analyzer) {
-						suppressed = true
+						covered = true
 					}
 				}
 			}
 		}
-		if !suppressed {
+		if covered {
+			suppressed = append(suppressed, dg)
+		} else {
 			kept = append(kept, dg)
 		}
 	}
-	return kept
+	return kept, suppressed
 }

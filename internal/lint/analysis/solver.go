@@ -1,0 +1,95 @@
+// A generic forward worklist solver over the CFG of cfg.go. An analyzer
+// supplies the lattice as plain functions — Bottom, Merge (set union for
+// a may-analysis, intersection for a must-analysis), Equal — plus a
+// Transfer function interpreting one block's nodes; Solve iterates to
+// fixpoint. Facts must be treated as immutable: Transfer and Merge
+// return fresh values instead of mutating their inputs, which is what
+// makes the worklist restart-safe.
+package analysis
+
+import "fmt"
+
+// Dataflow is one forward dataflow problem over a CFG.
+type Dataflow[F any] struct {
+	CFG *CFG
+
+	// Entry is the fact flowing into the entry block.
+	Entry F
+
+	// Bottom produces the least fact — the initial IN of every
+	// non-entry block. For a may-analysis it is the empty set; for a
+	// must-analysis the universe.
+	Bottom func() F
+
+	// Transfer interprets one block: given the fact at block entry it
+	// returns the fact at block exit. It must not mutate in.
+	Transfer func(b *Block, in F) F
+
+	// Merge combines facts where edges meet (union for may,
+	// intersection for must). It must be monotone and must not mutate
+	// its arguments.
+	Merge func(a, b F) F
+
+	// Equal reports fact equality — the fixpoint test.
+	Equal func(a, b F) bool
+
+	// MaxSteps bounds worklist iterations as a defense against a
+	// non-monotone Transfer oscillating forever. 0 means 64 visits per
+	// reachable block, far beyond what a monotone finite-height lattice
+	// needs.
+	MaxSteps int
+}
+
+// Solve runs the worklist to fixpoint and returns the IN fact of every
+// reachable block. It errors out (rather than spinning) if the problem
+// does not converge within MaxSteps — a non-monotone transfer or an
+// infinite-height lattice, either of which is an analyzer bug.
+func (d *Dataflow[F]) Solve() (map[*Block]F, error) {
+	reach := d.CFG.Reachable()
+	in := make(map[*Block]F, len(reach))
+	out := make(map[*Block]F, len(reach))
+	visited := make(map[*Block]bool, len(reach))
+	for _, b := range reach {
+		in[b] = d.Bottom()
+	}
+	in[d.CFG.Entry] = d.Entry
+
+	maxSteps := d.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 64 * len(reach)
+	}
+
+	// Seed in reverse post-order so most facts stabilize in one pass.
+	work := append([]*Block(nil), reach...)
+	queued := make(map[*Block]bool, len(reach))
+	for _, b := range work {
+		queued[b] = true
+	}
+	steps := 0
+	for len(work) > 0 {
+		if steps++; steps > maxSteps {
+			return nil, fmt.Errorf("analysis: dataflow did not converge after %d steps (non-monotone transfer?)", maxSteps)
+		}
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+
+		o := d.Transfer(b, in[b])
+		if visited[b] && d.Equal(o, out[b]) {
+			continue
+		}
+		visited[b] = true
+		out[b] = o
+		for _, s := range b.Succs {
+			merged := d.Merge(in[s], o)
+			if !d.Equal(merged, in[s]) {
+				in[s] = merged
+				if !queued[s] {
+					queued[s] = true
+					work = append(work, s)
+				}
+			}
+		}
+	}
+	return in, nil
+}

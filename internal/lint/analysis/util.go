@@ -93,3 +93,76 @@ func EnclosingFunc(stack []ast.Node) ast.Node {
 	}
 	return nil
 }
+
+// RootIdent returns the identifier at the base of a chain of selector,
+// index, slice, star, paren and type-assertion expressions — the
+// variable a store through `v.f[i].g` ultimately reaches. Nil when the
+// base is not an identifier (a call result, a literal).
+func RootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// RootVar resolves the base of e to the *types.Var it names, or nil.
+func RootVar(info *types.Info, e ast.Expr) *types.Var {
+	id := RootIdent(e)
+	if id == nil {
+		return nil
+	}
+	v, _ := info.Uses[id].(*types.Var)
+	if v == nil {
+		v, _ = info.Defs[id].(*types.Var)
+	}
+	return v
+}
+
+// MethodRecv returns the named type of fn's receiver (unwrapping one
+// pointer), or nil for non-methods.
+func MethodRecv(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// WalkShallow walks root without descending into nested function
+// literals — the traversal analyzers use when a literal's effects must
+// not be attributed to the enclosing function.
+func WalkShallow(root ast.Node, fn func(n ast.Node) bool) {
+	if root == nil {
+		return
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		if _, ok := n.(*ast.FuncLit); ok && n != root {
+			return false
+		}
+		return fn(n)
+	})
+}

@@ -5,13 +5,17 @@ import (
 
 	"lqo/internal/lint/analysistest"
 	"lqo/internal/lint/atomicpub"
+	"lqo/internal/lint/bufown"
 	"lqo/internal/lint/cardclamp"
 	"lqo/internal/lint/ctxprop"
 	"lqo/internal/lint/determinism"
+	"lqo/internal/lint/errflow"
 	"lqo/internal/lint/floateq"
+	"lqo/internal/lint/gojoin"
 	"lqo/internal/lint/guardsafe"
 	"lqo/internal/lint/keycanon"
 	"lqo/internal/lint/lintignore"
+	"lqo/internal/lint/passpure"
 	"lqo/internal/lint/poolret"
 )
 
@@ -53,6 +57,22 @@ func TestLintIgnore(t *testing.T) {
 
 func TestPoolRet(t *testing.T) {
 	analysistest.Run(t, "testdata/src", poolret.Analyzer, "poolret_a")
+}
+
+func TestBufOwn(t *testing.T) {
+	analysistest.Run(t, "testdata/src", bufown.Analyzer, "bufown_a")
+}
+
+func TestGoJoin(t *testing.T) {
+	analysistest.Run(t, "testdata/src", gojoin.Analyzer, "gojoin_a")
+}
+
+func TestPassPure(t *testing.T) {
+	analysistest.Run(t, "testdata/src", passpure.Analyzer, "passpure_a")
+}
+
+func TestErrFlow(t *testing.T) {
+	analysistest.Run(t, "testdata/src", errflow.Analyzer, "errflow_a")
 }
 
 // TestSuppression runs floateq over a fixture whose violations are

@@ -6,6 +6,7 @@
 package lint
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"go/token"
@@ -17,14 +18,18 @@ import (
 
 	"lqo/internal/lint/analysis"
 	"lqo/internal/lint/atomicpub"
+	"lqo/internal/lint/bufown"
 	"lqo/internal/lint/cardclamp"
 	"lqo/internal/lint/ctxprop"
 	"lqo/internal/lint/determinism"
+	"lqo/internal/lint/errflow"
 	"lqo/internal/lint/floateq"
+	"lqo/internal/lint/gojoin"
 	"lqo/internal/lint/guardsafe"
 	"lqo/internal/lint/keycanon"
 	"lqo/internal/lint/lintignore"
 	"lqo/internal/lint/load"
+	"lqo/internal/lint/passpure"
 	"lqo/internal/lint/poolret"
 )
 
@@ -32,22 +37,30 @@ import (
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		atomicpub.Analyzer,
+		bufown.Analyzer,
 		cardclamp.Analyzer,
 		ctxprop.Analyzer,
 		determinism.Analyzer,
+		errflow.Analyzer,
 		floateq.Analyzer,
+		gojoin.Analyzer,
 		guardsafe.Analyzer,
 		keycanon.Analyzer,
 		lintignore.Analyzer,
+		passpure.Analyzer,
 		poolret.Analyzer,
 	}
 }
 
-// Finding is one post-suppression diagnostic.
+// Finding is one diagnostic after the suppression pass. Suppressed
+// findings (a //lqolint:ignore directive covers them) are retained so
+// machine consumers can audit waivers; human output and exit codes only
+// count the unsuppressed ones.
 type Finding struct {
-	Analyzer string
-	Pos      token.Position
-	Message  string
+	Analyzer   string
+	Pos        token.Position
+	Message    string
+	Suppressed bool
 }
 
 func (f Finding) String() string {
@@ -71,12 +84,27 @@ func RunPackage(pkg *load.Package) ([]Finding, error) {
 		}
 		diags = append(diags, ds...)
 	}
-	diags = analysis.Suppress(pkg.Fset, diags, analysis.Directives(pkg.Fset, pkg.Files))
+	kept, suppressed := analysis.Partition(pkg.Fset, diags, analysis.Directives(pkg.Fset, pkg.Files))
 	var out []Finding
-	for _, d := range diags {
+	for _, d := range kept {
 		out = append(out, Finding{Analyzer: d.Analyzer, Pos: pkg.Fset.Position(d.Pos), Message: d.Message})
 	}
+	for _, d := range suppressed {
+		out = append(out, Finding{Analyzer: d.Analyzer, Pos: pkg.Fset.Position(d.Pos), Message: d.Message, Suppressed: true})
+	}
 	return out, nil
+}
+
+// Unsuppressed filters findings down to those not covered by an ignore
+// directive — the set that fails a run.
+func Unsuppressed(fs []Finding) []Finding {
+	var out []Finding
+	for _, f := range fs {
+		if !f.Suppressed {
+			out = append(out, f)
+		}
+	}
+	return out
 }
 
 // RunTree lints every buildable package of the module rooted at root.
@@ -158,8 +186,9 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("lqo-lint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list registered analyzers and exit")
+	jsonOut := fs.Bool("json", false, "emit one JSON diagnostic per line (includes suppressed findings)")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: lqo-lint [-list] [./... | fixture-dir...]\n\n")
+		fmt.Fprintf(stderr, "usage: lqo-lint [-list] [-json] [./... | fixture-dir...]\n\n")
 		fmt.Fprintf(stderr, "Runs the lqolint analyzer suite. With no arguments (or ./...)\nit lints every package of the enclosing module.\n")
 		fs.PrintDefaults()
 	}
@@ -223,23 +252,55 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "lqo-lint: matched no packages\n")
 		return 2
 	}
-	for _, f := range res.Findings {
-		fmt.Fprintln(stdout, rel(f))
+	active := Unsuppressed(res.Findings)
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		for _, f := range res.Findings {
+			if err := enc.Encode(jsonFinding{
+				File:       relPath(f.Pos.Filename),
+				Line:       f.Pos.Line,
+				Analyzer:   f.Analyzer,
+				Message:    f.Message,
+				Suppressed: f.Suppressed,
+			}); err != nil {
+				fmt.Fprintf(stderr, "lqo-lint: %v\n", err)
+				return 2
+			}
+		}
+	} else {
+		for _, f := range active {
+			fmt.Fprintln(stdout, rel(f))
+		}
 	}
-	fmt.Fprintf(stderr, "lqo-lint: %d packages, %d findings\n", res.Packages, len(res.Findings))
-	if len(res.Findings) > 0 {
+	fmt.Fprintf(stderr, "lqo-lint: %d packages, %d findings (%d suppressed)\n", res.Packages, len(active), len(res.Findings)-len(active))
+	if len(active) > 0 {
 		return 1
 	}
 	return 0
 }
 
+// jsonFinding is the -json line format — one object per line, stable
+// field names, for the CI problem matcher.
+type jsonFinding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
 // rel shortens absolute finding paths relative to the working directory
 // for readable output.
 func rel(f Finding) string {
+	f.Pos.Filename = relPath(f.Pos.Filename)
+	return f.String()
+}
+
+func relPath(p string) string {
 	if cwd, err := os.Getwd(); err == nil {
-		if r, err := filepath.Rel(cwd, f.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
-			f.Pos.Filename = r
+		if r, err := filepath.Rel(cwd, p); err == nil && !strings.HasPrefix(r, "..") {
+			return r
 		}
 	}
-	return f.String()
+	return p
 }

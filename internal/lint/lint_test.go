@@ -1,6 +1,7 @@
 package lint_test
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -49,6 +50,74 @@ func TestBrokenFixtureFails(t *testing.T) {
 	}
 }
 
+// TestJSONOutput pins the -json line protocol: one JSON object per line
+// with the stable field names the CI problem matcher keys on, suppressed
+// findings included (text mode hides them), exit code still driven by the
+// unsuppressed count only.
+func TestJSONOutput(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := lint.Main([]string{"-json", "testdata/src/broken"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("lqo-lint -json on broken fixture: exit %d, want 1\nstderr:\n%s", code, stderr.String())
+	}
+	type line struct {
+		File       string `json:"file"`
+		Line       int    `json:"line"`
+		Analyzer   string `json:"analyzer"`
+		Message    string `json:"message"`
+		Suppressed bool   `json:"suppressed"`
+	}
+	known := map[string]bool{}
+	for _, a := range lint.Analyzers() {
+		known[a.Name] = true
+	}
+	seen := map[string]bool{}
+	suppressed := 0
+	var lines []line
+	for i, raw := range strings.Split(strings.TrimSpace(stdout.String()), "\n") {
+		var l line
+		if err := json.Unmarshal([]byte(raw), &l); err != nil {
+			t.Fatalf("line %d is not a JSON object: %v\n%s", i+1, err, raw)
+		}
+		if !strings.HasSuffix(l.File, "broken/broken.go") {
+			t.Errorf("line %d: file = %q, want a broken/broken.go path", i+1, l.File)
+		}
+		if l.Line <= 0 {
+			t.Errorf("line %d: line = %d, want > 0", i+1, l.Line)
+		}
+		if !known[l.Analyzer] {
+			t.Errorf("line %d: analyzer %q is not in the registry", i+1, l.Analyzer)
+		}
+		if l.Message == "" {
+			t.Errorf("line %d: empty message", i+1)
+		}
+		seen[l.Analyzer] = true
+		if l.Suppressed {
+			suppressed++
+		}
+		lines = append(lines, l)
+	}
+	for name := range known {
+		if !seen[name] {
+			t.Errorf("analyzer %s missing from -json output on the broken fixture", name)
+		}
+	}
+	if suppressed == 0 {
+		t.Error("-json output contains no suppressed finding; the waiver audit trail is gone")
+	}
+	// The acceptance-criterion leak: bufown must flag the buffer lost on
+	// the unexecuted error-return path, and -json must carry it verbatim.
+	found := false
+	for _, l := range lines {
+		if l.Analyzer == "bufown" && strings.Contains(l.Message, "may not be returned to the pool on every path") && !l.Suppressed {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("-json output lacks the bufown early-return leak finding")
+	}
+}
+
 // TestMainRejectsZeroPackages: a run that matches nothing must be a hard
 // error (exit 2), never a vacuous pass.
 func TestMainRejectsZeroPackages(t *testing.T) {
@@ -77,7 +146,7 @@ func TestRealTreeClean(t *testing.T) {
 	if res.Packages < 20 {
 		t.Errorf("lint run matched only %d packages, want >= 20; the loader is dropping packages", res.Packages)
 	}
-	for _, f := range res.Findings {
+	for _, f := range lint.Unsuppressed(res.Findings) {
 		t.Errorf("unexpected finding on the real tree: %s", f)
 	}
 }

@@ -32,6 +32,10 @@ var Known = map[string]bool{
 	"keycanon":    true,
 	"lintignore":  true,
 	"poolret":     true,
+	"bufown":      true,
+	"gojoin":      true,
+	"passpure":    true,
+	"errflow":     true,
 }
 
 func run(pass *analysis.Pass) error {

@@ -7,9 +7,14 @@
 // allocs/row regression just never shows up until a profile does.
 //
 // The check fires on methods (and closures inside them) of any struct
-// type holding a BatchPool field, except Open and Close — the sanctioned
-// places for cold-path setup and teardown allocation. Documented cold
-// paths opt out with //lqolint:ignore poolret <reason>.
+// type holding a BatchPool field, except the literal Open and Close
+// methods — the sanctioned places for cold-path setup and teardown
+// allocation — and propagates through the same-package call graph: a
+// helper function or method reachable from a streaming method is on the
+// hot path too, so hiding the make one call deep changes nothing.
+// Methods of BatchPool itself are the allocator and terminate the
+// propagation. Documented cold paths opt out with
+// //lqolint:ignore poolret <reason>.
 package poolret
 
 import (
@@ -93,17 +98,77 @@ func run(pass *analysis.Pass) error {
 		return nil
 	}
 	info := pass.TypesInfo
-	pass.Inspect(func(n ast.Node) bool {
-		fd, ok := n.(*ast.FuncDecl)
-		if !ok || fd.Body == nil || fd.Recv == nil || len(fd.Recv.List) == 0 {
-			return true
+
+	// Every function declared in this package, in file order (the order
+	// keeps hot-path attribution deterministic when a helper is reachable
+	// from several streaming methods).
+	var order []*types.Func
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := info.Defs[fd.Name].(*types.Func); ok {
+				order = append(order, obj)
+				decls[obj] = fd
+			}
+		}
+	}
+
+	// Seed the hot set with the streaming methods of pool-carrying
+	// operators: every method except the literal Open and Close.
+	hot := map[*types.Func]string{} // fn -> streaming method it is reachable from
+	var queue []*types.Func
+	for _, obj := range order {
+		fd := decls[obj]
+		if fd.Recv == nil || len(fd.Recv.List) == 0 {
+			continue
 		}
 		if name := fd.Name.Name; name == "Open" || name == "Close" {
-			return true
+			continue
 		}
 		if !carriesPool(info.TypeOf(fd.Recv.List[0].Type)) {
-			return true
+			continue
 		}
+		hot[obj] = fd.Name.Name
+		queue = append(queue, obj)
+	}
+
+	// Propagate through same-package calls. A helper reachable only from
+	// Open/Close never enters the set; BatchPool's own methods are the
+	// allocator and stop the walk.
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		ast.Inspect(decls[fn].Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := analysis.CalleeFunc(info, call)
+			if callee == nil || decls[callee] == nil {
+				return true
+			}
+			if _, seen := hot[callee]; seen {
+				return true
+			}
+			if recv := analysis.MethodRecv(callee); recv != nil && recv.Obj().Name() == "BatchPool" {
+				return true
+			}
+			hot[callee] = hot[fn]
+			queue = append(queue, callee)
+			return true
+		})
+	}
+
+	for _, fn := range order {
+		root := hot[fn]
+		if root == "" {
+			continue
+		}
+		fd := decls[fn]
 		ast.Inspect(fd.Body, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok || !analysis.IsBuiltinCall(info, call, "make") {
@@ -113,12 +178,17 @@ func run(pass *analysis.Pass) error {
 			if !ok || tv.Type == nil {
 				return true
 			}
-			if ts := tv.Type.String(); pooledTypes[ts] {
-				pass.Reportf(call.Pos(), "make(%s) in pooled operator method %s bypasses the BatchPool; Get it from the pool (or //lqolint:ignore poolret <reason> for a documented cold path)", ts, fd.Name.Name)
+			ts := tv.Type.String()
+			if !pooledTypes[ts] {
+				return true
+			}
+			if fd.Name.Name == root {
+				pass.Reportf(call.Pos(), "make(%s) in pooled operator method %s bypasses the BatchPool; Get it from the pool (or //lqolint:ignore poolret <reason> for a documented cold path)", ts, root)
+			} else {
+				pass.Reportf(call.Pos(), "make(%s) in %s, which is reachable from pooled streaming method %s, bypasses the BatchPool; Get it from the pool (or //lqolint:ignore poolret <reason> for a documented cold path)", ts, fd.Name.Name, root)
 			}
 			return true
 		})
-		return true
-	})
+	}
 	return nil
 }

@@ -1,0 +1,54 @@
+// Package errflow_a is the golden fixture for the errflow analyzer: no
+// error-valued result may vanish into a bare statement, a go/defer, or
+// the blank identifier.
+package errflow_a
+
+import "errors"
+
+var errBoom = errors.New("boom")
+
+func fail() error { return errBoom }
+
+func failInt() (int, error) { return 0, errBoom }
+
+func report() (int, bool) { return 1, true }
+
+func multi() (int, error) { return 0, errBoom }
+
+// Ignored hits every drop shape.
+func Ignored() {
+	fail()            // want `error returned by fail is silently discarded`
+	_ = fail()        // want `error result of fail is discarded into _`
+	v, _ := failInt() // want `error result of failInt is discarded into _`
+	_ = v
+	defer fail() // want `deferred fail drops its error`
+	go fail()    // want `goroutine result of fail drops its error`
+}
+
+// Handled is the clean path: every error reaches a decision.
+func Handled() error {
+	if err := fail(); err != nil {
+		return err
+	}
+	v, err := failInt()
+	if err != nil {
+		return err
+	}
+	_ = v
+	n, ok := report() // comma-ok results are not errors
+	_, _ = n, ok
+	return nil
+}
+
+// MultiStatement: multi-result calls used as statements are out of scope
+// (flagging them would drown the suite in fmt.Fprintf noise); the blank
+// form above is how such drops get caught.
+func MultiStatement() {
+	multi()
+}
+
+// Suppressed documents its drop with a reason.
+func Suppressed() {
+	//lqolint:ignore errflow best-effort cache warm; the next request retries
+	fail()
+}

@@ -1,0 +1,135 @@
+// Package gojoin_a is the golden fixture for the gojoin analyzer: every
+// go statement needs a reachable join — a WaitGroup.Wait, a receive from
+// the goroutine's signal channel, or a transferred handle.
+package gojoin_a
+
+import "sync"
+
+// --- violations ------------------------------------------------------
+
+// fireAndForget spawns a goroutine nothing can ever wait for.
+func fireAndForget(n int) {
+	go func() { // want `go statement has no join handle`
+		_ = n + 1
+	}()
+}
+
+// orphanChannel signals a channel nobody receives from and which never
+// escapes.
+func orphanChannel(n int) {
+	ch := make(chan int)
+	go func() { // want `goroutine is never joined`
+		ch <- n
+	}()
+}
+
+// waitBeforeSpawn has a Wait, but on a branch that returns before the
+// spawn ever happens: the join is not reachable from the go statement.
+func waitBeforeSpawn(n int) {
+	var wg sync.WaitGroup
+	if n > 0 {
+		wg.Wait()
+		return
+	}
+	wg.Add(1)
+	go func() { // want `goroutine is never joined`
+		defer wg.Done()
+	}()
+}
+
+// --- clean -----------------------------------------------------------
+
+// localJoin is the canonical same-function Add/spawn/Wait.
+func localJoin(parts [][]int32) {
+	var wg sync.WaitGroup
+	for range parts {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// concOp splits its lifecycle: Open spawns, Close waits. The wg field is
+// one object shared by both methods, which is exactly how the analyzer
+// matches them.
+type concOp struct {
+	wg   sync.WaitGroup
+	rows chan []int32
+}
+
+// Open spawns the producer.
+func (c *concOp) Open() {
+	c.wg.Add(1)
+	go c.produce()
+}
+
+func (c *concOp) produce() {
+	defer c.wg.Done()
+	c.rows <- nil
+}
+
+// Close joins it.
+func (c *concOp) Close() {
+	c.wg.Wait()
+}
+
+// oneShot joins through a channel receive in the same function.
+func oneShot(n int) int {
+	ch := make(chan int, 1)
+	go func() { ch <- n * 2 }()
+	return <-ch
+}
+
+// fanIn joins by draining the channel the goroutine closes.
+func fanIn(parts [][]int32) []int32 {
+	ch := make(chan int32)
+	go func() {
+		for _, p := range parts {
+			for _, v := range p {
+				ch <- v
+			}
+		}
+		close(ch)
+	}()
+	var out []int32
+	for v := range ch {
+		out = append(out, v)
+	}
+	return out
+}
+
+// start returns the done channel: the join obligation transfers to the
+// caller with the handle.
+func start(n int) chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		_ = n
+		close(done)
+	}()
+	return done
+}
+
+// loop parks its handle in a field; stop receives from it.
+type loop struct {
+	done chan struct{}
+}
+
+// begin stores the handle before spawning against it.
+func (l *loop) begin() {
+	done := make(chan struct{})
+	go func() { close(done) }()
+	l.done = done
+}
+
+// stop joins via the parked handle.
+func (l *loop) stop() {
+	<-l.done
+}
+
+// suppressed documents a deliberately detached goroutine.
+func suppressed(ch chan int) {
+	//lqolint:ignore gojoin detached flusher; the fixture's process exit is the join
+	go func() { ch <- 1 }()
+}

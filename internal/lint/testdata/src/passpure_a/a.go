@@ -1,0 +1,131 @@
+// Package passpure_a is the golden fixture for the passpure analyzer: a
+// Rewrite body may not store through pointers reachable from its plan or
+// context parameters; values flowing from Clone are exempt.
+package passpure_a
+
+// Node mimics plan.Node.
+type Node struct {
+	Name  string
+	Card  float64
+	Preds []*Node
+}
+
+// Clone is the sanctioned copy; its result is fresh by contract.
+func (n *Node) Clone() *Node {
+	c := *n
+	c.Preds = append([]*Node(nil), n.Preds...)
+	return &c
+}
+
+// Walk visits the subtree.
+func (n *Node) Walk(fn func(*Node)) {
+	fn(n)
+	for _, p := range n.Preds {
+		p.Walk(fn)
+	}
+}
+
+// PassContext mimics plan.PassContext.
+type PassContext struct {
+	Depth int
+}
+
+// --- violations ------------------------------------------------------
+
+type badPass struct{}
+
+// Rewrite mutates the input directly.
+func (badPass) Rewrite(n *Node, pc *PassContext) (*Node, bool) {
+	n.Card = 1 // want `store through "n" mutates the pass input`
+	return n, true
+}
+
+type badChildPass struct{}
+
+// Rewrite mutates through a pointer derived from the input.
+func (badChildPass) Rewrite(n *Node, pc *PassContext) (*Node, bool) {
+	child := n.Preds[0]
+	child.Card = 2 // want `store through "child" mutates the pass input`
+	return n, false
+}
+
+type badWalkPass struct{}
+
+// Rewrite walks the input and mutates via the callback: the callback's
+// parameter inherits the receiver's taint.
+func (badWalkPass) Rewrite(n *Node, pc *PassContext) (*Node, bool) {
+	n.Walk(func(m *Node) {
+		m.Card = 0 // want `store through "m" mutates the pass input`
+	})
+	return n, true
+}
+
+type badCtxPass struct{}
+
+// Rewrite scribbles on the shared context.
+func (badCtxPass) Rewrite(n *Node, pc *PassContext) (*Node, bool) {
+	pc.Depth++ // want `increment through "pc" mutates the pass input`
+	return n, false
+}
+
+type lazyPass struct{}
+
+// Rewrite clones on one branch only; the other path still aliases the
+// input when the store runs — the may-analysis catches it.
+func (lazyPass) Rewrite(n *Node, pc *PassContext) (*Node, bool) {
+	m := n
+	if pc.Depth > 0 {
+		m = n.Clone()
+	}
+	m.Card = 3 // want `store through "m" mutates the pass input`
+	return m, true
+}
+
+// --- clean -----------------------------------------------------------
+
+type goodPass struct{}
+
+// Rewrite returns the input unchanged (the no-op contract) or edits a
+// clone, including through the Walk callback.
+func (goodPass) Rewrite(n *Node, pc *PassContext) (*Node, bool) {
+	if len(n.Preds) == 0 {
+		return n, false
+	}
+	c := n.Clone()
+	c.Card = clamp(c.Card)
+	c.Walk(func(m *Node) {
+		m.Card = clamp(m.Card)
+	})
+	return c, true
+}
+
+func clamp(v float64) float64 {
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+type eagerPass struct{}
+
+// Rewrite clones up front; every downstream store is on the clone.
+func (eagerPass) Rewrite(n *Node, pc *PassContext) (*Node, bool) {
+	m := n.Clone()
+	m.Card = 3
+	m.Preds = m.Preds[:0]
+	return m, true
+}
+
+type auditPass struct{}
+
+// Rewrite's counter bump is a documented exception.
+func (auditPass) Rewrite(n *Node, pc *PassContext) (*Node, bool) {
+	//lqolint:ignore passpure depth counter is per-run scratch owned by the pipeline, not shared plan state
+	pc.Depth++
+	return n, false
+}
+
+type notAPass struct{}
+
+// Rewrite here has no plan-typed inputs, so it is out of scope.
+func (notAPass) Rewrite(s string) string { return s }

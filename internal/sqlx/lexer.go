@@ -166,6 +166,22 @@ func (l *lexer) lexNumber() error {
 			l.pos++
 		}
 	}
+	// Scientific notation ("1e+06", the shortest strconv form of large
+	// floats, so rendered queries re-parse). Consumed only when at least
+	// one exponent digit follows: "1e" stays number-then-identifier.
+	if l.pos < len(l.src) && (l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+		q := l.pos + 1
+		if q < len(l.src) && (l.src[q] == '+' || l.src[q] == '-') {
+			q++
+		}
+		r := q
+		for r < len(l.src) && l.src[r] >= '0' && l.src[r] <= '9' {
+			r++
+		}
+		if r > q {
+			l.pos = r
+		}
+	}
 	if digits == 0 {
 		return fmt.Errorf("sqlx: malformed number at %d", start)
 	}

@@ -302,7 +302,7 @@ func (p *parser) parseLiteral(ref colRef) (data.Value, int, error) {
 		p.params++
 		return data.Value{}, p.params, nil
 	case tokNumber:
-		if strings.Contains(t.text, ".") {
+		if strings.ContainsAny(t.text, ".eE") {
 			f, err := strconv.ParseFloat(t.text, 64)
 			if err != nil {
 				return data.Value{}, 0, fmt.Errorf("sqlx: bad float %q at %d", t.text, t.pos)

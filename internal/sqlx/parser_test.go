@@ -1,6 +1,7 @@
 package sqlx
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 
@@ -127,6 +128,26 @@ func TestParseFloatLiteral(t *testing.T) {
 	}
 	if q2.Preds[0].Val.K != data.Float {
 		t.Fatalf("int literal on float column not coerced: %+v", q2.Preds[0].Val)
+	}
+	// Scientific notation is how strconv renders large floats, so an
+	// accepted query's own SQL form must re-parse (fuzz-found: 1000000.0
+	// renders as "1e+06").
+	for _, lit := range []string{"1e+06", "1E6", "2.5e-1", "1e06"} {
+		q3, err := Parse("SELECT COUNT(*) FROM items WHERE items.price <= "+lit, cat)
+		if err != nil {
+			t.Fatalf("Parse(%s): %v", lit, err)
+		}
+		want, _ := strconv.ParseFloat(lit, 64)
+		if q3.Preds[0].Val.K != data.Float || q3.Preds[0].Val.F != want {
+			t.Fatalf("literal %s = %+v, want %v", lit, q3.Preds[0].Val, want)
+		}
+		if _, err := Parse(q3.SQL(), cat); err != nil {
+			t.Fatalf("re-parse of %q: %v", q3.SQL(), err)
+		}
+	}
+	// A trailing "e" with no exponent digits is not part of the number.
+	if _, err := Parse("SELECT COUNT(*) FROM items WHERE items.price <= 1e", cat); err == nil {
+		t.Fatal("Parse accepted a bare identifier after a number")
 	}
 }
 
